@@ -1,0 +1,83 @@
+//===- ablation_basecase.cpp - Sec. 8 ablations ------------------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablations for the design choices of Sec. 8 (and DESIGN.md):
+//  1. Base-case granularity kappa for union / multi-insert / intersect:
+//     expose-only (kappa=0) vs kappa in {B, 4B, 8B, 16B}. The paper reports
+//     kappa=4B 4.4x and kappa=8B 6.7x faster than expose-only (B=128).
+//  2. Copy-on-write reuse: in-place updates (refcount-1 reuse) vs forced
+//     path copying (shared snapshot held).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/bench_common.h"
+#include "src/api/pam_map.h"
+#include "src/parallel/random.h"
+
+using namespace cpam;
+using namespace cpam::bench;
+
+namespace {
+
+using M = pam_map<uint64_t, uint64_t, 128>;
+using Entry = std::pair<uint64_t, uint64_t>;
+
+std::vector<Entry> makeEntries(size_t N, uint64_t Seed) {
+  std::vector<Entry> E(N);
+  Rng R(Seed);
+  par::parallel_for(0, N, [&](size_t I) { E[I] = {R.ith(I) >> 1, I}; });
+  return E;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t N = arg_size(argc, argv, "n", 1000000);
+  g_reps = static_cast<int>(arg_size(argc, argv, "reps", 3));
+  print_header("Sec. 8 ablation: base-case granularity kappa (B=128)");
+
+  auto E1 = makeEntries(N, 1);
+  auto E2 = makeEntries(N, 2);
+  M M1(E1), M2(E2);
+
+  double Baseline = 0;
+  for (size_t Kappa : {size_t(0), size_t(128), size_t(512), size_t(1024),
+                       size_t(2048)}) {
+    M::ops::kappa() = Kappa;
+    double Union = time_par([&] { auto U = M::map_union(M1, M2); });
+    double Inter = time_par([&] { auto X = M::map_intersect(M1, M2); });
+    double Multi = time_par([&] { auto X = M1.multi_insert(E2); });
+    if (Kappa == 0)
+      Baseline = Union;
+    std::printf("kappa=%5zu (%3zuB)  union=%8.4fs (%.2fx vs expose-only)  "
+                "intersect=%8.4fs  multi-insert=%8.4fs\n",
+                Kappa, Kappa / 128, Union, Baseline / Union, Inter, Multi);
+  }
+  M::ops::kappa() = 8 * 128; // Restore the default.
+
+  print_header("Copy-on-write reuse ablation (sequential point inserts)");
+  size_t Ins = std::max<size_t>(1, N / 20);
+  double InPlace = median_time(
+      [&] {
+        M X = M1; // Unique after first path copy: nodes reused in place.
+        for (size_t I = 0; I < Ins; ++I)
+          X.insert_inplace(hash64(I) | 1, I);
+      },
+      g_reps);
+  double PathCopy = median_time(
+      [&] {
+        M X = M1;
+        for (size_t I = 0; I < Ins; ++I) {
+          M Snapshot = X; // Forces the path to be copied every time.
+          X.insert_inplace(hash64(I) | 1, I);
+        }
+      },
+      g_reps);
+  std::printf("in-place (reuse) %8.4fs   forced path-copy %8.4fs   "
+              "(copy/reuse %.2fx)\n",
+              InPlace, PathCopy, PathCopy / InPlace);
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- bench_common.h - Shared helpers for the paper benchmarks ------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the bench binaries: command-line scale parsing,
+/// median-of-3 timing with a sequential (T1) mode, and row printing in the
+/// shape of the paper's tables. Every binary accepts `--n=<count>` (problem
+/// size) and `--reps=<r>`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_BENCH_BENCH_COMMON_H
+#define CPAM_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/parallel/scheduler.h"
+#include "src/util/timer.h"
+
+namespace cpam {
+namespace bench {
+
+/// Parses --name=value style size_t flags.
+inline size_t arg_size(int argc, char **argv, const char *Name, size_t Def) {
+  std::string Prefix = std::string("--") + Name + "=";
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], Prefix.c_str(), Prefix.size()) == 0)
+      return std::strtoull(argv[I] + Prefix.size(), nullptr, 10);
+  return Def;
+}
+
+inline int g_reps = 3;
+
+/// Median-of-g_reps parallel wall time in seconds.
+template <class F> double time_par(const F &f) {
+  return median_time(f, g_reps);
+}
+
+/// Median single-thread time: runs the same parallel code with forking
+/// disabled (honest T1 under the work/span model).
+template <class F> double time_seq(const F &f) {
+  par::set_sequential(true);
+  double T = median_time(f, g_reps);
+  par::set_sequential(false);
+  return T;
+}
+
+inline void print_header(const char *Title) {
+  std::printf("\n=== %s ===\n", Title);
+  std::printf("(threads=%d)\n", par::num_workers());
+}
+
+/// One row in paper Table 2 style: name, T1, Tp, speedup.
+inline void print_time_row(const char *Name, double T1, double Tp) {
+  std::printf("%-28s T1=%9.4fs  Tp=%9.4fs  speedup=%6.2fx\n", Name, T1, Tp,
+              Tp > 0 ? T1 / Tp : 0.0);
+}
+
+inline void print_size_row(const char *Name, size_t Bytes, size_t Baseline) {
+  std::printf("%-28s %10.3f MB  (%.2fx of smallest)\n", Name,
+              Bytes / (1024.0 * 1024.0),
+              Baseline ? static_cast<double>(Bytes) / Baseline : 0.0);
+}
+
+} // namespace bench
+} // namespace cpam
+
+#endif // CPAM_BENCH_BENCH_COMMON_H

@@ -1,0 +1,156 @@
+//===- fig02_sequence.cpp - Fig. 2: sequence primitives ---------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Fig. 2: reduce, map, filter, is_sorted, reverse, find, select
+// (nth), subseq and append over 8-byte elements, comparing PaC-tree
+// sequences (CPAM, B=128), P-tree sequences (PAM) and the flat-array
+// baseline standing in for ParallelSTL. Uses Google Benchmark as harness.
+// Paper scale is n = 1e8; default here is n = 4e6 (env CPAM_BENCH_N).
+//
+// Expected shape: CPAM ~ Array on whole-sequence ops (reduce/map/filter),
+// CPAM far slower on nth (O(log n + B) vs O(1)), and CPAM far *faster* on
+// append (O(log n + B) join vs O(n) copy) — the 1594x of the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include "src/api/pam_seq.h"
+#include "src/baselines/array_seq.h"
+#include "src/parallel/random.h"
+
+using namespace cpam;
+
+namespace {
+
+size_t benchN() {
+  if (const char *E = std::getenv("CPAM_BENCH_N"))
+    return std::strtoull(E, nullptr, 10);
+  return 4000000;
+}
+
+using CpamSeq = pam_seq<uint64_t, 128>;
+using PamSeq = pam_seq<uint64_t, 0>;
+using Array = array_seq<uint64_t>;
+
+std::vector<uint64_t> &input() {
+  static std::vector<uint64_t> V = [] {
+    size_t N = benchN();
+    std::vector<uint64_t> X(N);
+    par::parallel_for(0, N, [&](size_t I) { X[I] = hash64(I); });
+    return X;
+  }();
+  return V;
+}
+
+template <class S> const S &seq() {
+  static S Instance(input());
+  return Instance;
+}
+
+template <class S> void bmReduce(benchmark::State &St) {
+  const S &X = seq<S>();
+  for (auto _ : St)
+    benchmark::DoNotOptimize(X.reduce(uint64_t(0), std::plus<uint64_t>()));
+}
+
+template <class S> void bmMap(benchmark::State &St) {
+  const S &X = seq<S>();
+  for (auto _ : St) {
+    auto M = X.map([](uint64_t V) { return V ^ 0x5555; });
+    benchmark::DoNotOptimize(M.size());
+  }
+}
+
+template <class S> void bmFilter(benchmark::State &St) {
+  const S &X = seq<S>();
+  for (auto _ : St) {
+    auto F = X.filter([](uint64_t V) { return (V & 7) == 0; });
+    benchmark::DoNotOptimize(F.size());
+  }
+}
+
+template <class S> void bmIsSorted(benchmark::State &St) {
+  const S &X = seq<S>();
+  for (auto _ : St)
+    benchmark::DoNotOptimize(X.is_sorted());
+}
+
+template <class S> void bmReverse(benchmark::State &St) {
+  const S &X = seq<S>();
+  for (auto _ : St) {
+    auto R = X.reverse();
+    benchmark::DoNotOptimize(R.size());
+  }
+}
+
+template <class S> void bmFind(benchmark::State &St) {
+  const S &X = seq<S>();
+  uint64_t Needle = input()[input().size() / 2];
+  for (auto _ : St)
+    benchmark::DoNotOptimize(
+        X.find_first([&](uint64_t V) { return V == Needle; }));
+}
+
+template <class S> void bmSelect(benchmark::State &St) {
+  const S &X = seq<S>();
+  size_t I = 0, N = input().size();
+  for (auto _ : St) {
+    benchmark::DoNotOptimize(X.nth((I * 40503) % N));
+    ++I;
+  }
+}
+
+template <class S> void bmSubseq(benchmark::State &St) {
+  const S &X = seq<S>();
+  size_t N = input().size();
+  for (auto _ : St) {
+    auto Sub = X.subseq(N / 4, N / 4 + 1000);
+    benchmark::DoNotOptimize(Sub.size());
+  }
+}
+
+template <class S> void bmAppend(benchmark::State &St) {
+  const S &X = seq<S>();
+  for (auto _ : St) {
+    auto A = S::append(X, X);
+    benchmark::DoNotOptimize(A.size());
+  }
+}
+
+} // namespace
+
+BENCHMARK_TEMPLATE(bmReduce, CpamSeq)->Name("reduce/CPAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmReduce, PamSeq)->Name("reduce/PAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmReduce, Array)->Name("reduce/Array")->UseRealTime();
+BENCHMARK_TEMPLATE(bmMap, CpamSeq)->Name("map/CPAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmMap, PamSeq)->Name("map/PAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmMap, Array)->Name("map/Array")->UseRealTime();
+BENCHMARK_TEMPLATE(bmFilter, CpamSeq)->Name("filter/CPAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmFilter, PamSeq)->Name("filter/PAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmFilter, Array)->Name("filter/Array")->UseRealTime();
+BENCHMARK_TEMPLATE(bmIsSorted, CpamSeq)
+    ->Name("is_sorted/CPAM")
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(bmIsSorted, PamSeq)->Name("is_sorted/PAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmIsSorted, Array)->Name("is_sorted/Array")->UseRealTime();
+BENCHMARK_TEMPLATE(bmReverse, CpamSeq)->Name("reverse/CPAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmReverse, PamSeq)->Name("reverse/PAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmReverse, Array)->Name("reverse/Array")->UseRealTime();
+BENCHMARK_TEMPLATE(bmFind, CpamSeq)->Name("find/CPAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmFind, PamSeq)->Name("find/PAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmFind, Array)->Name("find/Array")->UseRealTime();
+BENCHMARK_TEMPLATE(bmSelect, CpamSeq)->Name("select/CPAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmSelect, PamSeq)->Name("select/PAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmSelect, Array)->Name("select/Array")->UseRealTime();
+BENCHMARK_TEMPLATE(bmSubseq, CpamSeq)->Name("subseq/CPAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmSubseq, PamSeq)->Name("subseq/PAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmSubseq, Array)->Name("subseq/Array")->UseRealTime();
+BENCHMARK_TEMPLATE(bmAppend, CpamSeq)->Name("append/CPAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmAppend, PamSeq)->Name("append/PAM")->UseRealTime();
+BENCHMARK_TEMPLATE(bmAppend, Array)->Name("append/Array")->UseRealTime();
+
+BENCHMARK_MAIN();

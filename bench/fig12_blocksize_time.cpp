@@ -1,0 +1,96 @@
+//===- fig12_blocksize_time.cpp - Fig. 12: primitive time vs block size B ---===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Fig. 12: running times of Build, Filter, Insert, Find, Range
+// and Union / Union-Imbal as a function of the block size B. Expected
+// shape: most operations speed up until B ~ 16-32; point operations (find,
+// insert, range) and the imbalanced union then slow back down linearly in B
+// (the O(mB) term of Thm. 6.3); B = 1 matches the P-tree.
+//
+//===----------------------------------------------------------------------===//
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/api/pam_map.h"
+#include "src/parallel/random.h"
+
+using namespace cpam;
+using namespace cpam::bench;
+
+namespace {
+
+using Entry = std::pair<uint64_t, uint64_t>;
+
+std::vector<Entry> makeEntries(size_t N, uint64_t Seed) {
+  std::vector<Entry> E(N);
+  Rng R(Seed);
+  par::parallel_for(0, N, [&](size_t I) { E[I] = {R.ith(I) >> 1, I}; });
+  return E;
+}
+
+template <int B> void runForB(size_t N) {
+  using M = pam_map<uint64_t, uint64_t, B>;
+  auto E1 = makeEntries(N, 1);
+  auto E2 = makeEntries(N, 2);
+  auto ESmall = makeEntries(std::max<size_t>(1, N / 1000), 3);
+  M M1(E1), M2(E2), MSmall(ESmall);
+
+  double Build = time_par([&] { M X(E1); });
+  double Filter = time_par([&] {
+    auto F = M1.filter([](const Entry &X) { return X.second % 3 == 0; });
+  });
+  size_t Ins = std::max<size_t>(1, N / 200);
+  double Insert = median_time(
+      [&] {
+        M X = M1;
+        for (size_t I = 0; I < Ins; ++I)
+          X.insert_inplace(hash64(I) | 1, I);
+      },
+      g_reps);
+  size_t Q = N / 4;
+  double Find = time_par([&] {
+    std::atomic<uint64_t> H{0};
+    par::parallel_for(0, Q, [&](size_t I) {
+      if (M1.contains(E1[(I * 37) % N].first))
+        H.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  size_t RQ = std::max<size_t>(1, N / 200);
+  double Range = time_par([&] {
+    par::parallel_for(
+        0, RQ,
+        [&](size_t I) {
+          uint64_t Lo = hash64(I) >> 1;
+          auto R = M1.range(Lo, Lo + (UINT64_MAX >> 12));
+        },
+        1);
+  });
+  double Union = time_par([&] { auto U = M::map_union(M1, M2); });
+  double UnionImbal =
+      time_par([&] { auto U = M::map_union(M1, MSmall); });
+  std::printf("B=%5d build=%8.4f filter=%8.4f insert(%zu)=%8.4f "
+              "find=%8.4f range=%8.4f union=%8.4f union-imbal=%8.4f\n",
+              B, Build, Filter, Ins, Insert, Find, Range, Union, UnionImbal);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t N = arg_size(argc, argv, "n", 1000000);
+  g_reps = static_cast<int>(arg_size(argc, argv, "reps", 3));
+  print_header("Fig. 12: primitive running times vs block size B "
+               "(paper n=1e8; seconds)");
+  runForB<0>(N); // P-tree reference (printed as B=0).
+  runForB<1>(N);
+  runForB<2>(N);
+  runForB<8>(N);
+  runForB<32>(N);
+  runForB<128>(N);
+  runForB<512>(N);
+  runForB<2048>(N);
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===- fig13_blocksize_space.cpp - Fig. 13: map size vs block size B --------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Fig. 13: bytes used by PaC-tree maps (plain / augmented /
+// difference-encoded) as a function of B, against the array lower bound
+// (16 bytes/pair) and the difference-encoded-array lower bound, plus the
+// P-tree (PAM) sizes. Expected shape: PaC sizes converge onto the array
+// bound as B grows (within ~1% at B = 128); augmentation adds ~1% for
+// PaC-trees but ~20% for P-trees.
+//
+//===----------------------------------------------------------------------===//
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/api/aug_map.h"
+#include "src/api/pam_map.h"
+#include "src/encoding/diff_encoder.h"
+#include "src/encoding/varint.h"
+#include "src/parallel/random.h"
+
+using namespace cpam;
+using namespace cpam::bench;
+
+namespace {
+
+using Entry = std::pair<uint64_t, uint64_t>;
+using AugE = aug_sum_entry<uint64_t, uint64_t>;
+
+template <int B> void rowForB(const std::vector<Entry> &E) {
+  pam_map<uint64_t, uint64_t, B> Plain(E);
+  pam_map<uint64_t, uint64_t, B, diff_encoder> Diff(E);
+  aug_map<AugE, B> Aug(E);
+  aug_map<AugE, B, diff_encoder> AugDiff(E);
+  std::printf("B=%5d  pac=%9.3fMB  pac-aug=%9.3fMB  pac-diff=%9.3fMB  "
+              "pac-aug-diff=%9.3fMB\n",
+              B, Plain.size_in_bytes() / 1048576.0,
+              Aug.size_in_bytes() / 1048576.0,
+              Diff.size_in_bytes() / 1048576.0,
+              AugDiff.size_in_bytes() / 1048576.0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t N = arg_size(argc, argv, "n", 1000000);
+  print_header("Fig. 13: map size vs block size B (paper n=1e8)");
+
+  std::vector<Entry> E(N);
+  Rng R(1);
+  par::parallel_for(0, N, [&](size_t I) { E[I] = {R.ith(I) >> 1, I}; });
+  // Lower bounds: flat array, and diff-encoded keys + raw values.
+  std::vector<Entry> Sorted = E;
+  par::sort(Sorted, [](const Entry &A, const Entry &B2) {
+    return A.first < B2.first;
+  });
+  size_t ArrayBytes = N * sizeof(Entry);
+  size_t DiffKeyBytes = N * sizeof(uint64_t); // Values stay 8 bytes.
+  for (size_t I = 0; I < N; ++I)
+    DiffKeyBytes += varint_size(
+        I == 0 ? Sorted[0].first : Sorted[I].first - Sorted[I - 1].first);
+  std::printf("array lower bound:        %9.3f MB\n", ArrayBytes / 1048576.0);
+  std::printf("diff-array lower bound:   %9.3f MB\n",
+              DiffKeyBytes / 1048576.0);
+
+  pam_map<uint64_t, uint64_t, 0> PTree(E);
+  aug_map<AugE, 0> PTreeAug(E);
+  std::printf("P-tree: %9.3f MB   P-tree-aug: %9.3f MB  (aug overhead "
+              "%.1f%%)\n",
+              PTree.size_in_bytes() / 1048576.0,
+              PTreeAug.size_in_bytes() / 1048576.0,
+              100.0 * (static_cast<double>(PTreeAug.size_in_bytes()) /
+                           PTree.size_in_bytes() -
+                       1.0));
+
+  rowForB<1>(E);
+  rowForB<2>(E);
+  rowForB<8>(E);
+  rowForB<32>(E);
+  rowForB<128>(E);
+  rowForB<512>(E);
+  rowForB<2048>(E);
+
+  // Headline claims at B = 128 (Sec. 10.1).
+  pam_map<uint64_t, uint64_t, 128> Pac(E);
+  aug_map<AugE, 128> PacAug(E);
+  std::printf("\nB=128 vs array bound: %.3fx   aug overhead: %.2f%%   "
+              "P-tree/PaC: %.2fx\n",
+              static_cast<double>(Pac.size_in_bytes()) / ArrayBytes,
+              100.0 * (static_cast<double>(PacAug.size_in_bytes()) /
+                           Pac.size_in_bytes() -
+                       1.0),
+              static_cast<double>(PTree.size_in_bytes()) /
+                  Pac.size_in_bytes());
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- aug_map.h - Purely-functional augmented ordered map -----------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_API_AUG_MAP_H
+#define CPAM_API_AUG_MAP_H
+
+#include "src/api/ordered_api.h"
+#include "src/encoding/raw_encoder.h"
+
+namespace cpam {
+
+/// A purely-functional augmented ordered map. \p AugEntry supplies the key,
+/// value and ordering like map_entry, plus the augmentation (aug_t,
+/// aug_empty, aug_from_entry, aug_combine); see entry.h. PaC-trees store
+/// one augmented value per regular node and one per flat block, which is
+/// where the large augmentation space savings over P-trees come from
+/// (Fig. 13).
+template <class AugEntry, int BlockSizeB = 128,
+          template <class> class Enc = raw_encoder>
+class aug_map : public ordered_api<aug_map<AugEntry, BlockSizeB, Enc>,
+                                   aug_ops<AugEntry, Enc, BlockSizeB>> {
+  using Base = ordered_api<aug_map, aug_ops<AugEntry, Enc, BlockSizeB>>;
+  friend Base;
+
+public:
+  using entry_traits = AugEntry;
+  using typename Base::entry_t;
+  using typename Base::key_t;
+  using typename Base::node_t;
+  using ops = typename Base::ops;
+  using aug_t = typename AugEntry::aug_t;
+
+  aug_map() = default;
+
+  template <class CombineOp = take_right>
+  explicit aug_map(const std::vector<entry_t> &Entries,
+                   const CombineOp &Op = CombineOp())
+      : Base(ops::build(Entries.data(), Entries.size(), Op)) {}
+
+  static aug_map from_sorted(std::vector<entry_t> Entries) {
+    return aug_map(ops::from_array_move(Entries.data(), Entries.size()));
+  }
+
+  /// Value lookup.
+  std::optional<typename AugEntry::val_t> find(const key_t &Key) const {
+    auto E = this->find_entry(Key);
+    if (!E)
+      return std::nullopt;
+    return AugEntry::get_val(*E);
+  }
+
+  aug_map insert(const key_t &Key, typename AugEntry::val_t Val) const {
+    return Base::insert(entry_t(Key, std::move(Val)));
+  }
+  using Base::insert;
+  void insert_inplace(const key_t &Key, typename AugEntry::val_t Val) {
+    Base::insert_inplace(entry_t(Key, std::move(Val)));
+  }
+  using Base::insert_inplace;
+
+  /// Aggregate over the whole map.
+  aug_t aug_val() const { return ops::aug_val(this->Root); }
+  /// Aggregate over keys <= K.
+  aug_t aug_left(const key_t &K) const { return ops::aug_left(this->Root, K); }
+  /// Aggregate over keys >= K.
+  aug_t aug_right(const key_t &K) const {
+    return ops::aug_right(this->Root, K);
+  }
+  /// Aggregate over KL <= key <= KR. O(log n + B) work.
+  aug_t aug_range(const key_t &KL, const key_t &KR) const {
+    return ops::aug_range(this->Root, KL, KR);
+  }
+  /// Entries whose aug_from_entry satisfies P, pruning subtrees whose
+  /// aggregate fails P (P must be monotone w.r.t. aug_combine).
+  template <class Pred> aug_map aug_filter(const Pred &P) const {
+    return aug_map(ops::aug_filter(ops::inc(this->Root), P));
+  }
+  /// Leftmost entry whose own aggregate satisfies monotone \p P.
+  template <class Pred>
+  std::optional<entry_t> aug_find_first(const Pred &P) const {
+    return ops::aug_find_first(this->Root, P);
+  }
+
+private:
+  explicit aug_map(node_t *R) : Base(R) {}
+};
+
+} // namespace cpam
+
+#endif // CPAM_API_AUG_MAP_H

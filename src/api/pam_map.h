@@ -1,0 +1,95 @@
+//===- pam_map.h - Purely-functional ordered map ---------------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_API_PAM_MAP_H
+#define CPAM_API_PAM_MAP_H
+
+#include "src/api/ordered_api.h"
+#include "src/encoding/raw_encoder.h"
+
+namespace cpam {
+
+/// A purely-functional ordered map from K to V backed by a PaC-tree with
+/// block size \p BlockSizeB and block encoding \p Enc. `BlockSizeB == 0`
+/// selects the un-blocked P-tree representation (the PAM baseline).
+///
+/// Copies are O(1) snapshots; all operations are safe to run from parallel
+/// code as long as each map value is owned by one logical thread (snapshots
+/// may be read concurrently with updates to other snapshots).
+template <class K, class V, int BlockSizeB = 128,
+          template <class> class Enc = raw_encoder,
+          class Less = std::less<K>>
+class pam_map
+    : public ordered_api<pam_map<K, V, BlockSizeB, Enc, Less>,
+                         map_ops<map_entry<K, V, Less>, Enc, BlockSizeB>> {
+  using Entry = map_entry<K, V, Less>;
+  using Base = ordered_api<pam_map, map_ops<Entry, Enc, BlockSizeB>>;
+  friend Base;
+
+public:
+  using entry_traits = Entry;
+  using typename Base::entry_t;
+  using typename Base::node_t;
+  using ops = typename Base::ops;
+
+  pam_map() = default;
+
+  /// Builds from unsorted entries; duplicate keys combine via \p Op
+  /// (default: last writer wins).
+  template <class CombineOp = take_right>
+  explicit pam_map(const std::vector<entry_t> &Entries,
+                   const CombineOp &Op = CombineOp())
+      : Base(ops::build(Entries.data(), Entries.size(), Op)) {}
+
+  /// Builds from unsorted entries the caller relinquishes (no input copy).
+  template <class CombineOp = take_right>
+  explicit pam_map(std::vector<entry_t> &&Entries,
+                   const CombineOp &Op = CombineOp())
+      : Base(ops::build_move(Entries.data(), Entries.size(), Op)) {}
+
+  /// Builds from entries already sorted by key with distinct keys (moved).
+  static pam_map from_sorted(std::vector<entry_t> Entries) {
+    return pam_map(
+        ops::from_array_move(Entries.data(), Entries.size()));
+  }
+
+  /// Value lookup.
+  std::optional<V> find(const K &Key) const {
+    auto E = this->find_entry(Key);
+    if (!E)
+      return std::nullopt;
+    return E->second;
+  }
+
+  /// Insert a (key, value) pair functionally.
+  pam_map insert(const K &Key, V Val) const {
+    return Base::insert(entry_t(Key, std::move(Val)));
+  }
+  using Base::insert;
+  void insert_inplace(const K &Key, V Val) {
+    Base::insert_inplace(entry_t(Key, std::move(Val)));
+  }
+  using Base::insert_inplace;
+
+  /// New map with the same keys and f(entry) as values.
+  template <class F> pam_map map_values(const F &f) const {
+    return pam_map(ops::map_values(ops::inc(this->Root), f));
+  }
+
+  std::vector<K> keys() const {
+    std::vector<entry_t> Es = this->to_vector();
+    std::vector<K> Out(Es.size());
+    par::parallel_for(0, Es.size(), [&](size_t I) { Out[I] = Es[I].first; });
+    return Out;
+  }
+
+private:
+  explicit pam_map(node_t *R) : Base(R) {}
+};
+
+} // namespace cpam
+
+#endif // CPAM_API_PAM_MAP_H

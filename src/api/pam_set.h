@@ -1,0 +1,52 @@
+//===- pam_set.h - Purely-functional ordered set ---------------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_API_PAM_SET_H
+#define CPAM_API_PAM_SET_H
+
+#include "src/api/ordered_api.h"
+#include "src/encoding/raw_encoder.h"
+
+namespace cpam {
+
+/// A purely-functional ordered set of K backed by a PaC-tree with block
+/// size \p BlockSizeB and encoding \p Enc (use diff_encoder for integer
+/// keys to get the paper's difference-encoded sets). `BlockSizeB == 0`
+/// selects the P-tree (PAM) representation.
+template <class K, int BlockSizeB = 128,
+          template <class> class Enc = raw_encoder,
+          class Less = std::less<K>>
+class pam_set
+    : public ordered_api<pam_set<K, BlockSizeB, Enc, Less>,
+                         map_ops<set_entry<K, Less>, Enc, BlockSizeB>> {
+  using Entry = set_entry<K, Less>;
+  using Base = ordered_api<pam_set, map_ops<Entry, Enc, BlockSizeB>>;
+  friend Base;
+
+public:
+  using entry_traits = Entry;
+  using typename Base::entry_t; // == K
+  using typename Base::node_t;
+  using ops = typename Base::ops;
+
+  pam_set() = default;
+
+  /// Builds from unsorted keys (duplicates removed).
+  explicit pam_set(const std::vector<K> &Keys)
+      : Base(ops::build(Keys.data(), Keys.size())) {}
+
+  /// Builds from keys already sorted and distinct (moved).
+  static pam_set from_sorted(std::vector<K> Keys) {
+    return pam_set(ops::from_array_move(Keys.data(), Keys.size()));
+  }
+
+private:
+  explicit pam_set(node_t *R) : Base(R) {}
+};
+
+} // namespace cpam
+
+#endif // CPAM_API_PAM_SET_H

@@ -1,0 +1,133 @@
+//===- aspen_graph.h - Aspen-style graph (C-tree edge lists) ---------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Aspen graph comparator: a P-tree vertex tree (Aspen does not chunk
+/// the vertex tree — the very limitation Fig. 11 highlights) whose values
+/// are C-tree edge lists with difference encoding. Supports build, space
+/// accounting, flat snapshots (for BFS/MIS/BC via the shared Ligra layer)
+/// and batch edge insertion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_BASELINES_ASPEN_GRAPH_H
+#define CPAM_BASELINES_ASPEN_GRAPH_H
+
+#include "src/baselines/ctree.h"
+#include "src/util/datagen.h"
+
+namespace cpam {
+
+template <int EdgeB = 64> class aspen_graph_t {
+public:
+  using edge_list = ctree_set<EdgeB>;
+  /// Aspen's vertex tree is an uncompressed P-tree.
+  using vertex_tree = pam_map<vertex_id, edge_list, 0>;
+
+  aspen_graph_t() = default;
+
+  static aspen_graph_t from_edges(const std::vector<edge_pair> &Edges,
+                                  size_t NumVertices) {
+    aspen_graph_t G;
+    G.NumVertices = NumVertices;
+    if (Edges.empty())
+      return G;
+    std::vector<size_t> Starts(Edges.size());
+    size_t NumSrc = par::pack(
+        par::tabulate(Edges.size(), [](size_t I) { return I; }).data(),
+        [&](size_t I) {
+          return I == 0 || Edges[I].first != Edges[I - 1].first;
+        },
+        Edges.size(), Starts.data());
+    Starts.resize(NumSrc);
+    std::vector<typename vertex_tree::entry_t> Entries(NumSrc);
+    par::parallel_for(
+        0, NumSrc,
+        [&](size_t S) {
+          size_t Lo = Starts[S];
+          size_t Hi = S + 1 < NumSrc ? Starts[S + 1] : Edges.size();
+          std::vector<vertex_id> Ngh(Hi - Lo);
+          for (size_t I = Lo; I < Hi; ++I)
+            Ngh[I - Lo] = Edges[I].second;
+          Entries[S] = {Edges[Lo].first, edge_list::from_sorted(Ngh)};
+        },
+        /*Gran=*/1);
+    G.VT = vertex_tree::from_sorted(std::move(Entries));
+    return G;
+  }
+
+  size_t num_vertices() const { return NumVertices; }
+  size_t num_edges() const {
+    return VT.map_reduce(
+        [](const auto &E) { return E.second.size(); }, size_t(0),
+        std::plus<size_t>());
+  }
+  size_t size_in_bytes() const {
+    size_t Inner = VT.map_reduce(
+        [](const auto &E) { return E.second.size_in_bytes(); }, size_t(0),
+        std::plus<size_t>());
+    return VT.size_in_bytes() + Inner;
+  }
+
+  std::vector<edge_list> flat_snapshot() const {
+    std::vector<edge_list> Snap(NumVertices);
+    VT.foreach_index([&](size_t, const auto &E) { Snap[E.first] = E.second; });
+    return Snap;
+  }
+
+  /// Batch insertion of directed edges (Aspen's update path: per-vertex
+  /// C-tree unions merged into the vertex tree).
+  aspen_graph_t insert_edges(std::vector<edge_pair> Batch) const {
+    aspen_graph_t Out;
+    Out.NumVertices = NumVertices;
+    if (Batch.empty()) {
+      Out.VT = VT;
+      return Out;
+    }
+    par::sort(Batch);
+    size_t M = par::unique(Batch.data(), Batch.size());
+    Batch.resize(M);
+    std::vector<size_t> Starts(M);
+    size_t NumSrc = par::pack(
+        par::tabulate(M, [](size_t I) { return I; }).data(),
+        [&](size_t I) {
+          return I == 0 || Batch[I].first != Batch[I - 1].first;
+        },
+        M, Starts.data());
+    Starts.resize(NumSrc);
+    std::vector<typename vertex_tree::entry_t> Delta(NumSrc);
+    par::parallel_for(
+        0, NumSrc,
+        [&](size_t S) {
+          size_t Lo = Starts[S];
+          size_t Hi = S + 1 < NumSrc ? Starts[S + 1] : M;
+          std::vector<vertex_id> Ngh(Hi - Lo);
+          for (size_t I = Lo; I < Hi; ++I)
+            Ngh[I - Lo] = Batch[I].second;
+          // Merge into the existing list if the vertex is present.
+          auto Old = VT.find(Batch[Lo].first);
+          Delta[S] = {Batch[Lo].first, Old ? Old->union_sorted(Ngh)
+                                           : edge_list::from_sorted(Ngh)};
+        },
+        /*Gran=*/1);
+    Out.VT = VT.multi_insert_sorted(std::move(Delta));
+    if (static_cast<size_t>(Batch.back().first) + 1 > Out.NumVertices)
+      Out.NumVertices = Batch.back().first + 1;
+    return Out;
+  }
+
+  const vertex_tree &vertices() const { return VT; }
+
+private:
+  vertex_tree VT;
+  size_t NumVertices = 0;
+};
+
+using aspen_graph = aspen_graph_t<64>;
+
+} // namespace cpam
+
+#endif // CPAM_BASELINES_ASPEN_GRAPH_H

@@ -1,0 +1,375 @@
+//===- basic_tree.h - join / expose / split on PaC-trees -------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The join-based primitive layer of Figs. 5 and 9: `node_join` (the
+/// invariant-enforcing `node()`), `expose`, `join` with weight-balanced
+/// rotations, `split`, `split_last`/`join2`, and array<->tree conversion.
+/// All higher-level algorithms (union, filter, maps, sequences, augmented
+/// queries) are written against exactly these primitives, which is the
+/// paper's central software-design claim: redesigning join and expose lets
+/// the whole PAM algorithm suite run unchanged over compressed leaves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_CORE_BASIC_TREE_H
+#define CPAM_CORE_BASIC_TREE_H
+
+#include <optional>
+#include <utility>
+
+#include "src/core/node.h"
+
+namespace cpam {
+
+template <class Entry, template <class> class EncoderT, int BlockSizeB>
+struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
+  using NL = node_layer<Entry, EncoderT, BlockSizeB>;
+  using node_t = typename NL::node_t;
+  using entry_t = typename NL::entry_t;
+  using key_t = typename NL::key_t;
+  using temp_buf = typename NL::temp_buf;
+  using NL::as_flat;
+  using NL::as_regular;
+  using NL::dec;
+  using NL::inc;
+  using NL::is_flat;
+  using NL::kB;
+  using NL::kBlocked;
+  using NL::make_flat;
+  using NL::make_regular;
+  using NL::flatten;
+  using NL::ref_count;
+  using NL::size;
+  using NL::unfold;
+  using NL::weight;
+
+  /// Weight-balance parameter alpha = 0.29 (Def. 4.1), as the integer
+  /// fraction kAlphaNum/100. alpha <= 1 - 1/sqrt(2) as required for
+  /// join-based rebalancing [Blelloch-Ferizovic-Sun].
+  static constexpr size_t kAlphaNum = 29;
+  /// Subproblems at least this large fork in parallel. Tuned upward so
+  /// small-batch updates stay sequential (fork/steal latency dominates
+  /// below this size on mutex-deque schedulers).
+  static constexpr size_t kParGran = 8192;
+
+  /// True if a node with child weights \p WL, \p WR is weight-balanced.
+  static bool balanced(size_t WL, size_t WR) {
+    return 100 * WL >= kAlphaNum * (WL + WR) &&
+           100 * WR >= kAlphaNum * (WL + WR);
+  }
+  /// True if the side with weight \p WA is too heavy against \p WB.
+  static bool heavy(size_t WA, size_t WB) {
+    return 100 * WB < kAlphaNum * (WA + WB);
+  }
+
+  //===--------------------------------------------------------------------===
+  // node(): create a node enforcing the blocked-leaves invariant (Fig. 5).
+  //===--------------------------------------------------------------------===
+
+  /// Combines owned \p L, \p E, \p R into one tree. Callers must ensure
+  /// weight balance (as join does); this function enforces only the
+  /// blocked-leaves invariant: sizes in [B,2B] fold into one flat node,
+  /// sizes in (2B,4B] redistribute around the median into two flat nodes.
+  static node_t *node_join(node_t *L, entry_t E, node_t *R) {
+    if constexpr (!kBlocked)
+      return make_regular(L, std::move(E), R);
+    size_t S = size(L) + size(R) + 1;
+    if (S < kB)
+      return make_regular(L, std::move(E), R);
+    if (S > 4 * kB)
+      return make_regular(normalize(L), std::move(E), normalize(R));
+    if (S <= 2 * kB) {
+      // Fold everything into a single flat node.
+      temp_buf Buf(S);
+      size_t Ls = flatten(L, Buf.data());
+      ::new (static_cast<void *>(Buf.data() + Ls)) entry_t(std::move(E));
+      flatten(R, Buf.data() + Ls + 1);
+      Buf.set_count(S);
+      return make_flat(Buf.data(), S);
+    }
+    // 2B < S <= 4B. If both children are already flat blocks of legal size
+    // (a root block may be smaller than B), the invariant holds as-is.
+    if (is_flat(L) && is_flat(R) && L->Size >= kB && R->Size >= kB)
+      return make_regular(L, std::move(E), R);
+    // Otherwise redistribute into two equal flat blocks around the median.
+    temp_buf Buf(S);
+    size_t Ls = flatten(L, Buf.data());
+    ::new (static_cast<void *>(Buf.data() + Ls)) entry_t(std::move(E));
+    flatten(R, Buf.data() + Ls + 1);
+    Buf.set_count(S);
+    size_t Mid = S / 2;
+    node_t *Lf = make_flat(Buf.data(), Mid);
+    node_t *Rf = make_flat(Buf.data() + Mid + 1, S - Mid - 1);
+    return make_regular(Lf, std::move(Buf.data()[Mid]), Rf);
+  }
+
+  /// Folds a whole tree smaller than B into a single root-level flat block.
+  /// Trees of size < B would otherwise be all-regular "simplex" trees
+  /// (Def. 4.1 only constrains leaves when |T| >= B); storing them as one
+  /// block is what makes low-degree edge lists and short posting lists
+  /// compact, as in the CPAM implementation. Applied at API boundaries.
+  static node_t *compress_root(node_t *T) {
+    if constexpr (!kBlocked)
+      return T;
+    if (!T || is_flat(T) || T->Size >= kB)
+      return T;
+    size_t N = T->Size;
+    temp_buf Buf(N);
+    flatten(T, Buf.data());
+    Buf.set_count(N);
+    return make_flat(Buf.data(), N);
+  }
+
+  /// Repairs a child that should be a flat block but is a raw expanded
+  /// subtree (possible after rotations over freshly unfolded nodes): any
+  /// regular subtree of size [B, 2B] is folded into a single flat node.
+  static node_t *normalize(node_t *C) {
+    if constexpr (!kBlocked)
+      return C;
+    if (!C || is_flat(C) || C->Size < kB || C->Size > 2 * kB)
+      return C;
+    size_t N = C->Size;
+    temp_buf Buf(N);
+    flatten(C, Buf.data());
+    Buf.set_count(N);
+    return make_flat(Buf.data(), N);
+  }
+
+  //===--------------------------------------------------------------------===
+  // expose (Fig. 5): destructure a tree into (left, entry, right).
+  //===--------------------------------------------------------------------===
+
+  struct exposed {
+    node_t *L;
+    entry_t E;
+    node_t *R;
+  };
+
+  /// Destructures \p T, consuming one reference. Flat nodes are expanded
+  /// first (unfold); unique nodes are cannibalized without copying.
+  static exposed expose(node_t *T) {
+    assert(T && "cannot expose an empty tree");
+    if (is_flat(T))
+      T = unfold(T);
+    auto *R = as_regular(T);
+    if (ref_count(T) == 1) {
+      exposed Out{R->Left, std::move(R->E), R->Right};
+      NL::free_regular_shell(R);
+      return Out;
+    }
+    exposed Out{inc(R->Left), R->E, inc(R->Right)};
+    dec(T);
+    return Out;
+  }
+
+  //===--------------------------------------------------------------------===
+  // join (Figs. 5/9): concatenate two trees around a middle entry.
+  //===--------------------------------------------------------------------===
+
+  /// Joins owned \p L and \p R around \p E; every key in L precedes E and
+  /// every key in R follows it. O(|log w(L) - log w(R)|) work on complex
+  /// trees (Thm. 6.1).
+  static node_t *join(node_t *L, entry_t E, node_t *R) {
+    if (heavy(weight(L), weight(R)))
+      return join_right(L, std::move(E), R);
+    if (heavy(weight(R), weight(L)))
+      return join_left(L, std::move(E), R);
+    return node_join(L, std::move(E), R);
+  }
+
+  static node_t *join_right(node_t *Tl, entry_t E, node_t *Tr) {
+    if (balanced(weight(Tl), weight(Tr)))
+      return node_join(Tl, std::move(E), Tr);
+    // A flat Tl bounds the total size by < 3B; node_join redistributes.
+    if (is_flat(Tl))
+      return node_join(Tl, std::move(E), Tr);
+    exposed X = expose(Tl);
+    node_t *T2 = join_right(X.R, std::move(E), Tr);
+    if (balanced(weight(X.L), weight(T2)))
+      return node_join(X.L, std::move(X.E), T2);
+    exposed Y = expose(T2);
+    if (balanced(weight(X.L), weight(Y.L)) &&
+        balanced(weight(X.L) + weight(Y.L), weight(Y.R)))
+      // Single (left) rotation.
+      return node_join(node_join(X.L, std::move(X.E), Y.L), std::move(Y.E),
+                       Y.R);
+    // Double rotation: rotate Y.L right, then the root left.
+    exposed Z = expose(Y.L);
+    return node_join(node_join(X.L, std::move(X.E), Z.L), std::move(Z.E),
+                     node_join(Z.R, std::move(Y.E), Y.R));
+  }
+
+  static node_t *join_left(node_t *Tl, entry_t E, node_t *Tr) {
+    if (balanced(weight(Tl), weight(Tr)))
+      return node_join(Tl, std::move(E), Tr);
+    if (is_flat(Tr))
+      return node_join(Tl, std::move(E), Tr);
+    exposed X = expose(Tr);
+    node_t *T2 = join_left(Tl, std::move(E), X.L);
+    if (balanced(weight(T2), weight(X.R)))
+      return node_join(T2, std::move(X.E), X.R);
+    exposed Y = expose(T2);
+    if (balanced(weight(Y.R), weight(X.R)) &&
+        balanced(weight(Y.R) + weight(X.R), weight(Y.L)))
+      // Single (right) rotation.
+      return node_join(Y.L, std::move(Y.E),
+                       node_join(Y.R, std::move(X.E), X.R));
+    // Double rotation: rotate Y.R left, then the root right.
+    exposed Z = expose(Y.R);
+    return node_join(node_join(Y.L, std::move(Y.E), Z.L), std::move(Z.E),
+                     node_join(Z.R, std::move(X.E), X.R));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Array <-> tree conversion.
+  //===--------------------------------------------------------------------===
+
+  /// Builds a tree over A[0..N) (in the given order; sorted for maps/sets),
+  /// moving entries out of \p A. Leaves respect the blocking invariant.
+  static node_t *from_array_move(entry_t *A, size_t N) {
+    if (N == 0)
+      return nullptr;
+    if constexpr (kBlocked) {
+      if (N >= kB && N <= 2 * kB)
+        return make_flat(A, N);
+    }
+    size_t Mid = N / 2;
+    node_t *L = nullptr, *R = nullptr;
+    par::par_do_if(
+        N >= kParGran, [&] { L = from_array_move(A, Mid); },
+        [&] { R = from_array_move(A + Mid + 1, N - Mid - 1); });
+    return make_regular(L, std::move(A[Mid]), R);
+  }
+
+  /// Builds a tree from a read-only array (entries copied).
+  static node_t *from_array(const entry_t *A, size_t N) {
+    temp_buf Buf(N);
+    par::parallel_for(0, N, [&](size_t I) {
+      ::new (static_cast<void *>(Buf.data() + I)) entry_t(A[I]);
+    });
+    Buf.set_count(N);
+    return from_array_move(Buf.data(), N);
+  }
+
+  /// Writes all entries of \p T (which is retained, not consumed) into
+  /// \p Out by copy, in order.
+  static void to_array(const node_t *T, entry_t *Out) {
+    if (!T)
+      return;
+    if (is_flat(T)) {
+      size_t I = 0;
+      NL::encoder::for_each_while(
+          NL::payload(static_cast<const typename NL::flat_t *>(T)), T->Size,
+          [&](const entry_t &E) {
+            Out[I++] = E;
+            return true;
+          });
+      return;
+    }
+    auto *R = static_cast<const typename NL::regular_t *>(T);
+    size_t Ls = size(R->Left);
+    Out[Ls] = R->E;
+    par::par_do_if(
+        T->Size >= kParGran, [&] { to_array(R->Left, Out); },
+        [&] { to_array(R->Right, Out + Ls + 1); });
+  }
+
+  //===--------------------------------------------------------------------===
+  // split / split_last / join2 (Figs. 5/10).
+  //===--------------------------------------------------------------------===
+
+  struct split_t {
+    node_t *L = nullptr;
+    node_t *R = nullptr;
+    std::optional<entry_t> E; // Set iff the key was present.
+  };
+
+  /// Binary search: index of the first entry in A[0..N) with key >= K.
+  static size_t lower_bound_idx(const entry_t *A, size_t N, const key_t &K) {
+    size_t Lo = 0, Hi = N;
+    while (Lo < Hi) {
+      size_t Mid = Lo + (Hi - Lo) / 2;
+      if (Entry::comp(Entry::get_key(A[Mid]), K))
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    return Lo;
+  }
+
+  /// Splits \p T by key \p K into (keys < K, keys > K) plus the entry with
+  /// key K if present. Consumes \p T.
+  static split_t split(node_t *T, const key_t &K) {
+    if (!T)
+      return {};
+    if (is_flat(T)) {
+      // Flat base case: binary search inside the decoded block.
+      size_t N = T->Size;
+      temp_buf Buf(N);
+      flatten(T, Buf.data());
+      Buf.set_count(N);
+      entry_t *A = Buf.data();
+      size_t I = lower_bound_idx(A, N, K);
+      bool Found = I < N && !Entry::comp(K, Entry::get_key(A[I]));
+      split_t Out;
+      Out.L = from_array_move(A, I);
+      Out.R = from_array_move(A + I + Found, N - I - Found);
+      if (Found)
+        Out.E.emplace(std::move(A[I]));
+      return Out;
+    }
+    exposed X = expose(T);
+    const key_t &Ke = Entry::get_key(X.E);
+    if (Entry::comp(K, Ke)) {
+      split_t S = split(X.L, K);
+      S.R = join(S.R, std::move(X.E), X.R);
+      return S;
+    }
+    if (Entry::comp(Ke, K)) {
+      split_t S = split(X.R, K);
+      S.L = join(X.L, std::move(X.E), S.L);
+      return S;
+    }
+    split_t Out;
+    Out.L = X.L;
+    Out.R = X.R;
+    Out.E.emplace(std::move(X.E));
+    return Out;
+  }
+
+  /// Removes and returns the last (largest) entry. \p T must be nonempty.
+  static std::pair<node_t *, entry_t> split_last(node_t *T) {
+    assert(T && "split_last on empty tree");
+    if (is_flat(T)) {
+      size_t N = T->Size;
+      temp_buf Buf(N);
+      flatten(T, Buf.data());
+      Buf.set_count(N);
+      node_t *Rest = from_array_move(Buf.data(), N - 1);
+      return {Rest, std::move(Buf.data()[N - 1])};
+    }
+    exposed X = expose(T);
+    if (!X.R)
+      return {X.L, std::move(X.E)};
+    auto [Rest, Last] = split_last(X.R);
+    return {join(X.L, std::move(X.E), Rest), std::move(Last)};
+  }
+
+  /// Concatenates two owned trees (all keys in L precede all keys in R).
+  static node_t *join2(node_t *L, node_t *R) {
+    if (!L)
+      return R;
+    if (!R)
+      return L;
+    auto [Rest, Last] = split_last(L);
+    return join(Rest, std::move(Last), R);
+  }
+};
+
+} // namespace cpam
+
+#endif // CPAM_CORE_BASIC_TREE_H

@@ -1,0 +1,122 @@
+//===- invariants.h - Structural invariant checks (testing) ----------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checkers for the PaC-tree invariants of Def. 4.1, used by the test suite
+/// after every mutating operation:
+///   - weight balance with alpha = 0.29 at every regular node;
+///   - blocked leaves: every flat node holds B..2B entries, and no regular
+///     node has a size that should have been folded (sizes in [B, 2B] are
+///     always flat);
+///   - size fields consistent; keys strictly increasing in-order; augmented
+///     values equal to the recomputed aggregate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_CORE_INVARIANTS_H
+#define CPAM_CORE_INVARIANTS_H
+
+#include <string>
+
+#include "src/core/basic_tree.h"
+
+namespace cpam {
+
+/// Invariant checker over a tree_ops (or derived) instantiation \p Ops.
+template <class Ops> struct invariant_checker {
+  using node_t = typename Ops::node_t;
+  using entry_t = typename Ops::entry_t;
+  using Entry = typename Ops::NL; // node_layer exposes entry statics via...
+
+  /// Returns an empty string if all invariants hold, else a description of
+  /// the first violation.
+  static std::string check(const node_t *T, bool Ordered = true) {
+    std::string Err;
+    size_t Total = Ops::size(T);
+    checkRec(T, Total, /*IsRoot=*/true, Ordered, Err);
+    return Err;
+  }
+
+private:
+  static size_t checkRec(const node_t *T, size_t TotalSize, bool IsRoot,
+                         bool Ordered, std::string &Err) {
+    if (!Err.empty() || !T)
+      return 0;
+    if (Ops::is_flat(T)) {
+      size_t N = T->Size;
+      if constexpr (Ops::kBlocked) {
+        // The root of a whole small tree may be a single block of any size
+        // in [1, 2B]; interior blocks must hold B..2B entries.
+        size_t MinSize = IsRoot ? 1 : Ops::kB;
+        if (N < MinSize || N > 2 * Ops::kB)
+          Err = "flat node size " + std::to_string(N) + " outside [B,2B]=[" +
+                std::to_string(Ops::kB) + "," + std::to_string(2 * Ops::kB) +
+                "]";
+      } else {
+        Err = "flat node present in an unblocked (P-tree) instance";
+      }
+      return N;
+    }
+    const auto *R = static_cast<const typename Ops::NL::regular_t *>(T);
+    size_t N = T->Size;
+    if constexpr (Ops::kBlocked) {
+      if (N >= Ops::kB && N <= 2 * Ops::kB) {
+        Err = "regular node of size " + std::to_string(N) +
+              " should have been folded (B=" + std::to_string(Ops::kB) + ")";
+        return N;
+      }
+      if (N > 2 * Ops::kB && TotalSize >= Ops::kB &&
+          (!R->Left || !R->Right)) {
+        Err = "regular node of size " + std::to_string(N) +
+              " with a missing child in a blocked tree";
+        return N;
+      }
+    }
+    size_t Ls = checkRec(R->Left, TotalSize, /*IsRoot=*/false, Ordered, Err);
+    size_t Rs = checkRec(R->Right, TotalSize, /*IsRoot=*/false, Ordered, Err);
+    if (!Err.empty())
+      return N;
+    if (Ls + Rs + 1 != N) {
+      Err = "size field " + std::to_string(N) + " != children sum " +
+            std::to_string(Ls + Rs + 1);
+      return N;
+    }
+    size_t WL = Ls + 1, WR = Rs + 1;
+    if (!Ops::balanced(WL, WR)) {
+      Err = "weight-balance violation: wl=" + std::to_string(WL) +
+            " wr=" + std::to_string(WR);
+      return N;
+    }
+    return N;
+  }
+};
+
+/// Checks in-order key ordering and (if augmented) aggregate correctness
+/// for map-like trees built over \p Ops (a map_ops or aug_ops instance).
+template <class Ops, class EntryT> struct order_checker {
+  using node_t = typename Ops::node_t;
+  using entry_t = typename Ops::entry_t;
+
+  static std::string check(const node_t *T) {
+    bool First = true;
+    entry_t Prev{};
+    std::string Err;
+    Ops::foreach_seq(T, [&](const entry_t &E) {
+      if (!First && !EntryT::comp(EntryT::get_key(Prev), EntryT::get_key(E))) {
+        Err = "keys not strictly increasing in order";
+        return false;
+      }
+      Prev = E;
+      First = false;
+      return true;
+    });
+    return Err;
+  }
+};
+
+} // namespace cpam
+
+#endif // CPAM_CORE_INVARIANTS_H

@@ -1,0 +1,356 @@
+//===- node.h - PaC-tree node storage layer --------------------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage layer of a PaC-tree PaC(alpha, B, C) (Def. 4.1): reference-
+/// counted binary *regular* nodes plus *flat* nodes holding a block of B..2B
+/// entries encoded by scheme C. `B == 0` disables blocking entirely, which
+/// yields exactly the P-trees of PAM and serves as the PAM baseline
+/// throughout the evaluation.
+///
+/// Ownership discipline: every function that takes a `node_t *` *consumes*
+/// one reference to it and every returned `node_t *` carries one reference.
+/// Nodes with reference count 1 are cannibalized in place (entries moved
+/// out, shells freed without touching child counts), which implements the
+/// paper's in-place/visibility optimization (Sec. 8) as copy-on-write.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_CORE_NODE_H
+#define CPAM_CORE_NODE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/core/allocator.h"
+#include "src/core/entry.h"
+#include "src/parallel/scheduler.h"
+
+namespace cpam {
+
+/// Storage layer for PaC-trees over entries \p Entry, block encoding
+/// \p EncoderT and block-size parameter \p BlockSizeB (0 = plain P-tree).
+template <class Entry, template <class> class EncoderT, int BlockSizeB>
+struct node_layer {
+  using entry_t = typename Entry::entry_t;
+  using key_t = typename Entry::key_t;
+  using encoder = EncoderT<Entry>;
+
+  static constexpr bool is_aug = is_augmented_v<Entry>;
+  using aug_t =
+      std::conditional_t<is_aug, typename Entry::aug_t, no_aug>;
+
+  static constexpr size_t kB = BlockSizeB;
+  static constexpr bool kBlocked = BlockSizeB > 0;
+  /// Subtrees at least this large are destructed in parallel.
+  static constexpr size_t kParallelGc = 4096;
+
+  //===--------------------------------------------------------------------===
+  // Node layouts.
+  //===--------------------------------------------------------------------===
+
+  enum NodeKind : uint8_t { RegularKind = 0, FlatKind = 1 };
+
+  struct node_t {
+    std::atomic<uint32_t> Ref;
+    uint32_t Size; // Number of entries in this subtree.
+    NodeKind Kind;
+  };
+
+  struct regular_t : node_t {
+    node_t *Left;
+    node_t *Right;
+    entry_t E;
+    [[no_unique_address]] aug_t Aug;
+  };
+
+  struct flat_t : node_t {
+    uint32_t Bytes; // Encoded payload size.
+    [[no_unique_address]] aug_t Aug;
+    // Payload (encoded entries) follows at kPayloadOffset.
+  };
+
+  static constexpr size_t kPayloadAlign =
+      alignof(entry_t) > 8 ? alignof(entry_t) : 8;
+  static_assert(kPayloadAlign <= 16, "entry alignment beyond 16 unsupported");
+  static constexpr size_t kPayloadOffset =
+      (sizeof(flat_t) + kPayloadAlign - 1) & ~(kPayloadAlign - 1);
+
+  static uint8_t *payload(flat_t *T) {
+    return reinterpret_cast<uint8_t *>(T) + kPayloadOffset;
+  }
+  static const uint8_t *payload(const flat_t *T) {
+    return reinterpret_cast<const uint8_t *>(T) + kPayloadOffset;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Basic accessors.
+  //===--------------------------------------------------------------------===
+
+  static bool is_flat(const node_t *T) { return T && T->Kind == FlatKind; }
+  static bool is_regular(const node_t *T) {
+    return T && T->Kind == RegularKind;
+  }
+  static regular_t *as_regular(node_t *T) {
+    assert(is_regular(T) && "expected a regular node");
+    return static_cast<regular_t *>(T);
+  }
+  static flat_t *as_flat(node_t *T) {
+    assert(is_flat(T) && "expected a flat node");
+    return static_cast<flat_t *>(T);
+  }
+
+  static size_t size(const node_t *T) { return T ? T->Size : 0; }
+  static size_t weight(const node_t *T) { return size(T) + 1; }
+
+  static const key_t &get_key(const node_t *T) {
+    return Entry::get_key(static_cast<const regular_t *>(T)->E);
+  }
+
+  /// Augmented value of a (possibly null) subtree.
+  static aug_t aug_of(const node_t *T) {
+    if constexpr (!is_aug)
+      return aug_t{};
+    else {
+      if (!T)
+        return Entry::aug_empty();
+      if (T->Kind == FlatKind)
+        return static_cast<const flat_t *>(T)->Aug;
+      return static_cast<const regular_t *>(T)->Aug;
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Reference counting.
+  //===--------------------------------------------------------------------===
+
+  static uint32_t ref_count(const node_t *T) {
+    return T->Ref.load(std::memory_order_acquire);
+  }
+
+  static node_t *inc(node_t *T) {
+    if (T)
+      T->Ref.fetch_add(1, std::memory_order_relaxed);
+    return T;
+  }
+
+  /// Releases one reference; frees recursively (in parallel for large
+  /// subtrees) when the count reaches zero.
+  static void dec(node_t *T) {
+    if (!T)
+      return;
+    if (T->Ref.fetch_sub(1, std::memory_order_acq_rel) != 1)
+      return;
+    if (T->Kind == FlatKind) {
+      free_flat(static_cast<flat_t *>(T));
+      return;
+    }
+    regular_t *R = static_cast<regular_t *>(T);
+    node_t *L = R->Left, *Rt = R->Right;
+    free_regular_shell(R);
+    par::par_do_if(size(L) + size(Rt) >= kParallelGc, [&] { dec(L); },
+                   [&] { dec(Rt); });
+  }
+
+  //===--------------------------------------------------------------------===
+  // Construction and destruction.
+  //===--------------------------------------------------------------------===
+
+  /// Creates a regular node over owned children \p L and \p R. Does not
+  /// enforce the blocked-leaves invariant; see tree_ops::node_join for that.
+  static node_t *make_regular(node_t *L, entry_t E, node_t *R) {
+    void *Mem = tree_alloc(sizeof(regular_t));
+    regular_t *T = ::new (Mem) regular_t;
+    T->Ref.store(1, std::memory_order_relaxed);
+    T->Kind = RegularKind;
+    assert(size(L) + size(R) + 1 <= UINT32_MAX && "tree too large");
+    T->Size = static_cast<uint32_t>(size(L) + size(R) + 1);
+    T->Left = L;
+    T->Right = R;
+    T->E = std::move(E); // Members were default-constructed by placement new.
+    if constexpr (is_aug)
+      T->Aug = Entry::aug_combine(
+          Entry::aug_combine(aug_of(L), Entry::aug_from_entry(T->E)),
+          aug_of(R));
+    return T;
+  }
+
+  /// Creates a flat node from \p N entries (moved out of \p A).
+  static node_t *make_flat(entry_t *A, size_t N) {
+    assert(kBlocked && "flat nodes only exist in blocked trees");
+    assert(N >= 1 && N <= 2 * kB && "flat node size out of range");
+    aug_t Aug{};
+    if constexpr (is_aug) {
+      Aug = Entry::aug_from_entry(A[0]);
+      for (size_t I = 1; I < N; ++I)
+        Aug = Entry::aug_combine(Aug, Entry::aug_from_entry(A[I]));
+    }
+    size_t Bytes = encoder::encoded_size(A, N);
+    void *Mem = tree_alloc(kPayloadOffset + Bytes);
+    flat_t *T = ::new (Mem) flat_t;
+    T->Ref.store(1, std::memory_order_relaxed);
+    T->Kind = FlatKind;
+    T->Size = static_cast<uint32_t>(N);
+    T->Bytes = static_cast<uint32_t>(Bytes);
+    T->Aug = Aug;
+    encoder::encode(A, N, payload(T));
+    return T;
+  }
+
+  static node_t *singleton(entry_t E) {
+    return make_regular(nullptr, std::move(E), nullptr);
+  }
+
+  /// Frees a regular node shell without touching its children's counts.
+  /// The entry is destroyed exactly once, by ~regular_t (callers that want
+  /// the entry move it out first, leaving a destructible husk).
+  static void free_regular_shell(regular_t *T) {
+    T->~regular_t();
+    tree_free(T, sizeof(regular_t));
+  }
+
+  static void free_flat(flat_t *T) {
+    encoder::destroy(payload(T), T->Size);
+    size_t Bytes = kPayloadOffset + T->Bytes;
+    T->~flat_t();
+    tree_free(T, Bytes);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Temporary entry buffers (raw storage, destroyed on scope exit).
+  //===--------------------------------------------------------------------===
+
+  class temp_buf {
+  public:
+    explicit temp_buf(size_t Cap) : Cap(Cap) {
+      Data = static_cast<entry_t *>(tree_alloc(Cap * sizeof(entry_t)));
+    }
+    temp_buf(const temp_buf &) = delete;
+    temp_buf &operator=(const temp_buf &) = delete;
+    ~temp_buf() {
+      if constexpr (!std::is_trivially_destructible_v<entry_t>)
+        for (size_t I = 0; I < Count; ++I)
+          Data[I].~entry_t();
+      tree_free(Data, Cap * sizeof(entry_t));
+    }
+    entry_t *data() { return Data; }
+    /// Records that entries [0, N) are now constructed.
+    void set_count(size_t N) {
+      assert(N <= Cap && "temp buffer overflow");
+      Count = N;
+    }
+    size_t count() const { return Count; }
+
+  private:
+    entry_t *Data;
+    size_t Count = 0;
+    size_t Cap;
+  };
+
+  //===--------------------------------------------------------------------===
+  // Flatten / unfold (fold lives in tree_ops::node_join).
+  //===--------------------------------------------------------------------===
+
+  /// Writes the entries of \p T in order into raw storage \p Out
+  /// (placement-constructing them), consuming one reference to \p T.
+  /// Returns the number written.
+  static size_t flatten(node_t *T, entry_t *Out) {
+    if (!T)
+      return 0;
+    size_t N = T->Size;
+    if (T->Kind == FlatKind) {
+      flat_t *F = static_cast<flat_t *>(T);
+      if (ref_count(T) == 1) {
+        encoder::decode_move(payload(F), N, Out);
+        size_t Bytes = kPayloadOffset + F->Bytes;
+        F->~flat_t();
+        tree_free(F, Bytes);
+      } else {
+        encoder::decode(payload(F), N, Out);
+        dec(T);
+      }
+      return N;
+    }
+    regular_t *R = static_cast<regular_t *>(T);
+    node_t *L = R->Left, *Rt = R->Right;
+    size_t Ls = size(L);
+    if (ref_count(T) == 1) {
+      ::new (static_cast<void *>(Out + Ls)) entry_t(std::move(R->E));
+      free_regular_shell(R);
+      flatten(L, Out);
+      flatten(Rt, Out + Ls + 1);
+    } else {
+      ::new (static_cast<void *>(Out + Ls)) entry_t(R->E);
+      inc(L);
+      inc(Rt);
+      dec(T);
+      flatten(L, Out);
+      flatten(Rt, Out + Ls + 1);
+    }
+    return N;
+  }
+
+  /// Builds a perfectly balanced tree of regular nodes from \p A[0..N)
+  /// (entries moved out). Used to expand flat nodes ("unfold", Fig. 5) —
+  /// deliberately does *not* re-fold.
+  static node_t *build_expanded(entry_t *A, size_t N) {
+    if (N == 0)
+      return nullptr;
+    size_t Mid = N / 2;
+    node_t *L = build_expanded(A, Mid);
+    node_t *R = build_expanded(A + Mid + 1, N - Mid - 1);
+    return make_regular(L, std::move(A[Mid]), R);
+  }
+
+  /// Expands a flat node into a perfectly balanced binary tree of regular
+  /// nodes (the expanded version of Def. 4.1), consuming \p T.
+  static node_t *unfold(node_t *T) {
+    assert(is_flat(T) && "unfold expects a flat node");
+    size_t N = T->Size;
+    temp_buf Buf(N);
+    flatten(T, Buf.data());
+    Buf.set_count(N);
+    node_t *Out = build_expanded(Buf.data(), N);
+    return Out;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Measurement.
+  //===--------------------------------------------------------------------===
+
+  /// Total heap bytes reachable from \p T (the paper's space metric).
+  static size_t size_in_bytes(const node_t *T) {
+    if (!T)
+      return 0;
+    if (T->Kind == FlatKind)
+      return kPayloadOffset + static_cast<const flat_t *>(T)->Bytes;
+    const regular_t *R = static_cast<const regular_t *>(T);
+    size_t SL = 0, SR = 0;
+    par::par_do_if(T->Size >= kParallelGc,
+                   [&] { SL = size_in_bytes(R->Left); },
+                   [&] { SR = size_in_bytes(R->Right); });
+    return sizeof(regular_t) + SL + SR;
+  }
+
+  /// Number of physical nodes (regular + flat) reachable from \p T.
+  static size_t node_count(const node_t *T) {
+    if (!T)
+      return 0;
+    if (T->Kind == FlatKind)
+      return 1;
+    const regular_t *R = static_cast<const regular_t *>(T);
+    return 1 + node_count(R->Left) + node_count(R->Right);
+  }
+};
+
+} // namespace cpam
+
+#endif // CPAM_CORE_NODE_H

@@ -1,0 +1,281 @@
+//===- seq_ops.h - Sequence operations over PaC-trees ----------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Sequence interface of Table 1: positional operations over PaC-trees
+/// whose entries carry no ordering invariant. Provides split_at/subseq,
+/// take/drop, append (O(log n + B) via join), reverse, map, reduce and
+/// find_first. These back the Fig. 2 sequence microbenchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_CORE_SEQ_OPS_H
+#define CPAM_CORE_SEQ_OPS_H
+
+#include "src/core/basic_tree.h"
+#include "src/parallel/primitives.h"
+
+namespace cpam {
+
+template <class Entry, template <class> class EncoderT, int BlockSizeB>
+struct seq_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
+  using TO = tree_ops<Entry, EncoderT, BlockSizeB>;
+  using NL = typename TO::NL;
+  using node_t = typename TO::node_t;
+  using entry_t = typename TO::entry_t;
+  using temp_buf = typename TO::temp_buf;
+  using exposed = typename TO::exposed;
+  using TO::dec;
+  using TO::expose;
+  using TO::flatten;
+  using TO::from_array_move;
+  using TO::is_flat;
+  using TO::join;
+  using TO::join2;
+  using TO::kParGran;
+  using TO::size;
+
+  /// Element at position \p I (0-based). O(log n + B) work.
+  static entry_t nth(const node_t *T, size_t I) {
+    assert(T && I < size(T) && "nth index out of range");
+    while (true) {
+      if (is_flat(T)) {
+        const auto *F = static_cast<const typename NL::flat_t *>(T);
+        entry_t Out{};
+        size_t J = 0;
+        NL::encoder::for_each_while(NL::payload(F), T->Size,
+                                    [&](const entry_t &E) {
+                                      if (J++ == I) {
+                                        Out = E;
+                                        return false;
+                                      }
+                                      return true;
+                                    });
+        return Out;
+      }
+      const auto *R = static_cast<const typename NL::regular_t *>(T);
+      size_t Ls = size(R->Left);
+      if (I < Ls) {
+        T = R->Left;
+      } else if (I == Ls) {
+        return R->E;
+      } else {
+        I -= Ls + 1;
+        T = R->Right;
+      }
+    }
+  }
+
+  /// Splits into (first I elements, the rest). Consumes \p T.
+  static std::pair<node_t *, node_t *> split_at(node_t *T, size_t I) {
+    if (!T)
+      return {nullptr, nullptr};
+    if (I == 0)
+      return {nullptr, T};
+    if (I >= size(T))
+      return {T, nullptr};
+    if (is_flat(T)) {
+      size_t N = T->Size;
+      temp_buf Buf(N);
+      flatten(T, Buf.data());
+      Buf.set_count(N);
+      node_t *L = from_array_move(Buf.data(), I);
+      node_t *R = from_array_move(Buf.data() + I, N - I);
+      return {L, R};
+    }
+    exposed X = expose(T);
+    size_t Ls = size(X.L);
+    if (I <= Ls) {
+      auto [LL, LR] = split_at(X.L, I);
+      return {LL, join(LR, std::move(X.E), X.R)};
+    }
+    auto [RL, RR] = split_at(X.R, I - Ls - 1);
+    return {join(X.L, std::move(X.E), RL), RR};
+  }
+
+  /// First \p I elements. Consumes \p T. O(log n + B) work.
+  static node_t *take(node_t *T, size_t I) {
+    auto [L, R] = split_at(T, I);
+    dec(R);
+    return L;
+  }
+
+  /// All but the first \p I elements. Consumes \p T.
+  static node_t *drop(node_t *T, size_t I) {
+    auto [L, R] = split_at(T, I);
+    dec(L);
+    return R;
+  }
+
+  /// Elements [From, To). Consumes \p T.
+  static node_t *subseq(node_t *T, size_t From, size_t To) {
+    return take(drop(T, From), To > From ? To - From : 0);
+  }
+
+  /// Concatenation. Consumes both. O(log n + B) work — the headline win
+  /// over array sequences in Fig. 2 (arrays need O(n)).
+  static node_t *append(node_t *L, node_t *R) { return join2(L, R); }
+
+  /// Reversed copy. Consumes \p T. O(n) work, O(log n) span.
+  static node_t *reverse(node_t *T) {
+    size_t N = size(T);
+    if (N <= 1)
+      return T;
+    temp_buf Buf(N);
+    flatten(T, Buf.data());
+    Buf.set_count(N);
+    entry_t *A = Buf.data();
+    par::parallel_for(0, N / 2, [&](size_t I) {
+      std::swap(A[I], A[N - 1 - I]);
+    });
+    return from_array_move(A, N);
+  }
+
+  /// New sequence with f applied to every element. Consumes \p T.
+  template <class F> static node_t *map(node_t *T, const F &f) {
+    if (!T)
+      return nullptr;
+    if (is_flat(T)) {
+      size_t N = T->Size;
+      temp_buf Buf(N);
+      flatten(T, Buf.data());
+      Buf.set_count(N);
+      for (size_t I = 0; I < N; ++I)
+        Buf.data()[I] = f(Buf.data()[I]);
+      return from_array_move(Buf.data(), N);
+    }
+    exposed X = expose(T);
+    node_t *L = nullptr, *R = nullptr;
+    par::par_do_if(
+        size(X.L) + size(X.R) >= kParGran, [&] { L = map(X.L, f); },
+        [&] { R = map(X.R, f); });
+    return TO::node_join(L, f(X.E), R);
+  }
+
+  /// Reduction with associative \p Cmb over f(element) (read-only).
+  template <class F, class T2, class Combine>
+  static T2 map_reduce(const node_t *T, const F &f, T2 Identity,
+                       const Combine &Cmb) {
+    if (!T)
+      return Identity;
+    if (is_flat(T)) {
+      const auto *Fl = static_cast<const typename NL::flat_t *>(T);
+      T2 Acc = Identity;
+      NL::encoder::for_each_while(NL::payload(Fl), T->Size,
+                                  [&](const entry_t &E) {
+                                    Acc = Cmb(Acc, f(E));
+                                    return true;
+                                  });
+      return Acc;
+    }
+    const auto *R = static_cast<const typename NL::regular_t *>(T);
+    T2 A = Identity, B = Identity;
+    par::par_do_if(
+        T->Size >= kParGran,
+        [&] { A = map_reduce(R->Left, f, Identity, Cmb); },
+        [&] { B = map_reduce(R->Right, f, Identity, Cmb); });
+    return Cmb(Cmb(A, f(R->E)), B);
+  }
+
+  /// Index of the first element satisfying \p P, or size(T) if none.
+  /// O(k) work where k is the returned index (FindFirst in Table 1).
+  template <class Pred>
+  static size_t find_first(const node_t *T, const Pred &P) {
+    size_t Index = 0;
+    return find_first_rec(T, P, Index) ? Index : size_npos(T);
+  }
+
+  /// Keeps elements satisfying \p P, in order. Consumes \p T.
+  template <class Pred> static node_t *filter(node_t *T, const Pred &P) {
+    if (!T)
+      return nullptr;
+    if (is_flat(T)) {
+      size_t N = T->Size;
+      temp_buf Buf(N), Out(N);
+      flatten(T, Buf.data());
+      Buf.set_count(N);
+      size_t K = 0;
+      for (size_t I = 0; I < N; ++I) {
+        if (!P(Buf.data()[I]))
+          continue;
+        ::new (static_cast<void *>(Out.data() + K++))
+            entry_t(std::move(Buf.data()[I]));
+        Out.set_count(K);
+      }
+      return from_array_move(Out.data(), K);
+    }
+    exposed X = expose(T);
+    node_t *L = nullptr, *R = nullptr;
+    par::par_do_if(
+        size(X.L) + size(X.R) >= kParGran, [&] { L = filter(X.L, P); },
+        [&] { R = filter(X.R, P); });
+    if (P(X.E))
+      return join(L, std::move(X.E), R);
+    return join2(L, R);
+  }
+
+  /// Monotone check: true iff the sequence is sorted under \p Less.
+  /// Implemented as a tree reduction carrying (first, last, ok).
+  template <class Less>
+  static bool is_sorted(const node_t *T, const Less &Lt) {
+    struct Summary {
+      bool Ok = true;
+      bool Empty = true;
+      entry_t First{}, Last{};
+    };
+    auto Single = [](const entry_t &E) {
+      Summary S;
+      S.Ok = true;
+      S.Empty = false;
+      S.First = S.Last = E;
+      return S;
+    };
+    auto Merge = [&Lt](const Summary &A, const Summary &B) {
+      if (A.Empty)
+        return B;
+      if (B.Empty)
+        return A;
+      Summary S;
+      S.Empty = false;
+      S.Ok = A.Ok && B.Ok && !Lt(B.First, A.Last);
+      S.First = A.First;
+      S.Last = B.Last;
+      return S;
+    };
+    return map_reduce(T, Single, Summary{}, Merge).Ok;
+  }
+
+private:
+  static size_t size_npos(const node_t *T) { return size(T); }
+
+  template <class Pred>
+  static bool find_first_rec(const node_t *T, const Pred &P, size_t &Index) {
+    if (!T)
+      return false;
+    if (is_flat(T)) {
+      const auto *F = static_cast<const typename NL::flat_t *>(T);
+      bool Found = !NL::encoder::for_each_while(
+          NL::payload(F), T->Size, [&](const entry_t &E) {
+            if (P(E))
+              return false;
+            ++Index;
+            return true;
+          });
+      return Found;
+    }
+    const auto *R = static_cast<const typename NL::regular_t *>(T);
+    if (find_first_rec(R->Left, P, Index))
+      return true;
+    if (P(R->E))
+      return true;
+    ++Index;
+    return find_first_rec(R->Right, P, Index);
+  }
+};
+
+} // namespace cpam
+
+#endif // CPAM_CORE_SEQ_OPS_H

@@ -1,0 +1,99 @@
+//===- raw_encoder.h - Blocked, uncompressed leaf encoding ----------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The default "empty" encoding scheme C of Def. 4.1: entries are stored as
+/// a plain array inside the flat node. Works for arbitrary C++ entry types
+/// (including entries owning nested PaC-trees, as in the range tree and the
+/// graph representation): entries are properly constructed and destroyed.
+///
+/// Encoder interface (all encoders implement this; see Sec. 8 "Compression
+/// on Blocks" for the user-defined-scheme design):
+///   encoded_size(A, N)    bytes needed for A[0..N)
+///   encode(A, N, Out)     write block; may move from A
+///   decode(In, N, Out)    copy-construct all entries into raw storage Out
+///   decode_move(In,N,Out) move entries out, leaving the block destroyed
+///   for_each_while(In, N, F)  left-to-right visit, F returns false to stop
+///   destroy(In, N)        destroy entries owned by an encoded block
+///   can_be_parallel       true if decode is parallelizable (affects span,
+///                         Sec. 6.2)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_ENCODING_RAW_ENCODER_H
+#define CPAM_ENCODING_RAW_ENCODER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cpam {
+
+template <class Entry> struct raw_encoder {
+  using entry_t = typename Entry::entry_t;
+  static constexpr bool can_be_parallel = true;
+  static constexpr bool is_trivial = std::is_trivially_copyable_v<entry_t>;
+
+  static size_t encoded_size(const entry_t *, size_t N) {
+    return N * sizeof(entry_t);
+  }
+
+  static void encode(entry_t *A, size_t N, uint8_t *Out) {
+    entry_t *Dst = reinterpret_cast<entry_t *>(Out);
+    if constexpr (is_trivial) {
+      std::memcpy(static_cast<void *>(Dst), A, N * sizeof(entry_t));
+    } else {
+      for (size_t I = 0; I < N; ++I)
+        ::new (static_cast<void *>(Dst + I)) entry_t(std::move(A[I]));
+    }
+  }
+
+  static void decode(const uint8_t *In, size_t N, entry_t *Out) {
+    const entry_t *Src = reinterpret_cast<const entry_t *>(In);
+    if constexpr (is_trivial) {
+      std::memcpy(static_cast<void *>(Out), Src, N * sizeof(entry_t));
+    } else {
+      for (size_t I = 0; I < N; ++I)
+        ::new (static_cast<void *>(Out + I)) entry_t(Src[I]);
+    }
+  }
+
+  static void decode_move(uint8_t *In, size_t N, entry_t *Out) {
+    entry_t *Src = reinterpret_cast<entry_t *>(In);
+    if constexpr (is_trivial) {
+      std::memcpy(static_cast<void *>(Out), Src, N * sizeof(entry_t));
+    } else {
+      for (size_t I = 0; I < N; ++I) {
+        ::new (static_cast<void *>(Out + I)) entry_t(std::move(Src[I]));
+        Src[I].~entry_t();
+      }
+    }
+  }
+
+  template <class F>
+  static bool for_each_while(const uint8_t *In, size_t N, F &&f) {
+    const entry_t *Src = reinterpret_cast<const entry_t *>(In);
+    for (size_t I = 0; I < N; ++I)
+      if (!f(Src[I]))
+        return false;
+    return true;
+  }
+
+  static void destroy(uint8_t *In, size_t N) {
+    if constexpr (!std::is_trivially_destructible_v<entry_t>) {
+      entry_t *Src = reinterpret_cast<entry_t *>(In);
+      for (size_t I = 0; I < N; ++I)
+        Src[I].~entry_t();
+    }
+  }
+};
+
+} // namespace cpam
+
+#endif // CPAM_ENCODING_RAW_ENCODER_H

@@ -1,0 +1,86 @@
+//===- ligra.h - Frontier-based graph traversal primitives -----------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact Ligra-style interface (Shun-Blelloch) over flat snapshots:
+/// vertex subsets plus edge_map. The paper's graph algorithms (Sec. 9) are
+/// written against this interface, identically for CPAM graphs and the
+/// C-tree (Aspen) baseline — both only need "iterate my neighbors".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_GRAPH_LIGRA_H
+#define CPAM_GRAPH_LIGRA_H
+
+#include <vector>
+
+#include "src/parallel/primitives.h"
+#include "src/util/datagen.h"
+
+namespace cpam {
+
+/// A sparse set of active vertices.
+struct vertex_subset {
+  std::vector<vertex_id> Vs;
+  size_t size() const { return Vs.size(); }
+  bool empty() const { return Vs.empty(); }
+};
+
+/// Applies f(u, v) over all edges (u, v) with u in \p Frontier and
+/// cond(v); v is added to the result frontier when f returns true.
+/// \p Lists is any indexable neighbor container with
+/// `foreach_seq(f: v -> void)` semantics via a callback: we require
+/// Lists[u] to provide `template foreach(F)` — adapted below for edge_set.
+template <class NeighborFn, class F, class Cond>
+vertex_subset edge_map(const NeighborFn &Neighbors,
+                       const vertex_subset &Frontier, const F &f,
+                       const Cond &cond) {
+  size_t N = Frontier.size();
+  std::vector<std::vector<vertex_id>> Local(N);
+  par::parallel_for(
+      0, N,
+      [&](size_t I) {
+        vertex_id U = Frontier.Vs[I];
+        Neighbors(U, [&](vertex_id V) {
+          if (cond(V) && f(U, V))
+            Local[I].push_back(V);
+        });
+      },
+      /*Gran=*/1);
+  // Concatenate the per-vertex outputs.
+  std::vector<size_t> Sizes(N);
+  par::parallel_for(0, N, [&](size_t I) { Sizes[I] = Local[I].size(); });
+  std::vector<size_t> Offsets(N);
+  size_t Total = par::scan_exclusive(Sizes.data(), N, Offsets.data());
+  vertex_subset Out;
+  Out.Vs.resize(Total);
+  par::parallel_for(
+      0, N,
+      [&](size_t I) {
+        std::copy(Local[I].begin(), Local[I].end(),
+                  Out.Vs.begin() + Offsets[I]);
+      },
+      /*Gran=*/1);
+  return Out;
+}
+
+/// Adapts a flat snapshot (vector of edge trees) to the NeighborFn shape.
+template <class EdgeSet> struct snapshot_neighbors {
+  const std::vector<EdgeSet> &Snap;
+  template <class F> void operator()(vertex_id U, const F &f) const {
+    if (U < Snap.size())
+      Snap[U].foreach_seq([&](vertex_id V) { f(V); });
+  }
+};
+
+template <class EdgeSet>
+snapshot_neighbors<EdgeSet> make_neighbors(const std::vector<EdgeSet> &S) {
+  return snapshot_neighbors<EdgeSet>{S};
+}
+
+} // namespace cpam
+
+#endif // CPAM_GRAPH_LIGRA_H

@@ -1,0 +1,86 @@
+//===- mis.h - Parallel maximal independent set -----------------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_GRAPH_MIS_H
+#define CPAM_GRAPH_MIS_H
+
+#include <atomic>
+
+#include "src/graph/ligra.h"
+#include "src/parallel/random.h"
+
+namespace cpam {
+
+/// Parallel maximal independent set via random priorities (Luby-style
+/// rounds): each round, every undecided vertex whose hash-priority is a
+/// strict local minimum among undecided neighbors joins the MIS and knocks
+/// out its neighbors. Returns a flag per vertex. O(log n) rounds whp.
+template <class NeighborFn>
+std::vector<bool> mis(const NeighborFn &Neighbors, size_t NumVertices) {
+  enum : uint8_t { Undecided = 0, InSet = 1, Out = 2 };
+  std::vector<std::atomic<uint8_t>> State(NumVertices);
+  par::parallel_for(0, NumVertices,
+                    [&](size_t I) { State[I].store(Undecided); });
+  auto Prio = [](vertex_id V) { return hash64(V); };
+
+  std::vector<vertex_id> Active(NumVertices);
+  par::parallel_for(0, NumVertices, [&](size_t I) {
+    Active[I] = static_cast<vertex_id>(I);
+  });
+  while (!Active.empty()) {
+    // Join: local priority minima enter the set.
+    par::parallel_for(
+        0, Active.size(),
+        [&](size_t I) {
+          vertex_id V = Active[I];
+          if (State[V].load(std::memory_order_relaxed) != Undecided)
+            return;
+          bool IsMin = true;
+          Neighbors(V, [&](vertex_id U) {
+            if (U != V &&
+                State[U].load(std::memory_order_relaxed) != Out &&
+                Prio(U) < Prio(V))
+              IsMin = false;
+          });
+          if (IsMin)
+            State[V].store(InSet, std::memory_order_relaxed);
+        },
+        /*Gran=*/1);
+    // Knock out neighbors of fresh members.
+    par::parallel_for(
+        0, Active.size(),
+        [&](size_t I) {
+          vertex_id V = Active[I];
+          if (State[V].load(std::memory_order_relaxed) != InSet)
+            return;
+          Neighbors(V, [&](vertex_id U) {
+            uint8_t Expect = Undecided;
+            if (U != V)
+              State[U].compare_exchange_strong(Expect, Out);
+          });
+        },
+        /*Gran=*/1);
+    // Compact the survivors.
+    std::vector<vertex_id> Next(Active.size());
+    size_t K = par::pack(
+        Active.data(),
+        [&](size_t I) {
+          return State[Active[I]].load(std::memory_order_relaxed) ==
+                 Undecided;
+        },
+        Active.size(), Next.data());
+    Next.resize(K);
+    Active = std::move(Next);
+  }
+  std::vector<bool> InMis(NumVertices);
+  for (size_t I = 0; I < NumVertices; ++I)
+    InMis[I] = State[I].load(std::memory_order_relaxed) == InSet;
+  return InMis;
+}
+
+} // namespace cpam
+
+#endif // CPAM_GRAPH_MIS_H

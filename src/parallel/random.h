@@ -1,0 +1,59 @@
+//===- random.h - Deterministic pseudo-random utilities -------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic randomness. Used by the data generators
+/// (rMAT, Zipf) and by the C-tree baseline's head selection. Deterministic
+/// seeds keep every experiment reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_PARALLEL_RANDOM_H
+#define CPAM_PARALLEL_RANDOM_H
+
+#include <cstdint>
+
+namespace cpam {
+
+/// Stateless 64-bit mix (SplitMix64 finalizer). High-quality and cheap;
+/// suitable for hashing indices into pseudo-random streams.
+inline uint64_t hash64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// A tiny counter-based RNG: the I-th draw of stream S is hash64(S, I), so
+/// parallel loops can draw independently without shared state.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0) : Seed(Seed) {}
+
+  /// I-th 64-bit value of this stream.
+  uint64_t ith(uint64_t I) const { return hash64(Seed ^ hash64(I)); }
+  /// I-th value reduced to [0, Bound).
+  uint64_t ith(uint64_t I, uint64_t Bound) const { return ith(I) % Bound; }
+  /// I-th draw as a double in [0, 1).
+  double ith_double(uint64_t I) const {
+    return static_cast<double>(ith(I) >> 11) * 0x1.0p-53;
+  }
+  /// Derives an independent child stream.
+  Rng fork(uint64_t Salt) const { return Rng(hash64(Seed ^ (Salt + 0x1234))); }
+
+  /// Stateful draw (advances the stream).
+  uint64_t next() { return ith(Counter++); }
+  uint64_t next(uint64_t Bound) { return next() % Bound; }
+  double next_double() { return ith_double(Counter++); }
+
+private:
+  uint64_t Seed;
+  uint64_t Counter = 0;
+};
+
+} // namespace cpam
+
+#endif // CPAM_PARALLEL_RANDOM_H

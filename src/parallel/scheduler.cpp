@@ -1,0 +1,149 @@
+//===- scheduler.cpp - Work-stealing fork-join scheduler -----------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/parallel/scheduler.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+using namespace cpam;
+using namespace cpam::par;
+
+namespace {
+thread_local int ThisWorkerId = -1;
+
+int chooseNumWorkers() {
+  if (const char *Env = std::getenv("CPAM_NUM_THREADS")) {
+    int N = std::atoi(Env);
+    if (N > 0)
+      return N;
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : static_cast<int>(HW);
+}
+
+/// Cheap per-thread RNG used only for victim selection.
+unsigned nextVictimSeed() {
+  thread_local unsigned Seed =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) | 1u;
+  Seed = Seed * 1664525u + 1013904223u;
+  return Seed;
+}
+} // namespace
+
+Scheduler &Scheduler::get() {
+  static Scheduler S;
+  return S;
+}
+
+int Scheduler::workerId() { return ThisWorkerId; }
+
+Scheduler::Scheduler()
+    : NumWorkers(chooseNumWorkers()), Deques(NumWorkers) {
+  // The constructing thread becomes worker 0 so that top-level calls from
+  // main() participate in the pool.
+  ThisWorkerId = 0;
+  Threads.reserve(NumWorkers - 1);
+  for (int I = 1; I < NumWorkers; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+Scheduler::~Scheduler() {
+  Stop.store(true, std::memory_order_release);
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void Scheduler::push(int Id, Task *T) {
+  WorkDeque &D = Deques[Id];
+  std::lock_guard<std::mutex> Lock(D.M);
+  D.Q.push_back(T);
+}
+
+bool Scheduler::tryReclaim(int Id, Task *T) {
+  WorkDeque &D = Deques[Id];
+  std::lock_guard<std::mutex> Lock(D.M);
+  if (T->Taken)
+    return false;
+  // By the LIFO discipline of fork-join, an unclaimed task pushed by this
+  // worker must be the newest entry in its deque.
+  assert(!D.Q.empty() && D.Q.back() == T &&
+         "unclaimed forked task should sit on top of the owner's deque");
+  D.Q.pop_back();
+  T->Taken = true;
+  return true;
+}
+
+Task *Scheduler::popOwn(int Id) {
+  WorkDeque &D = Deques[Id];
+  std::lock_guard<std::mutex> Lock(D.M);
+  if (D.Q.empty())
+    return nullptr;
+  Task *T = D.Q.back();
+  D.Q.pop_back();
+  T->Taken = true;
+  return T;
+}
+
+Task *Scheduler::steal(int Id) {
+  if (NumWorkers == 1)
+    return nullptr;
+  int Victim = static_cast<int>(nextVictimSeed() % NumWorkers);
+  if (Victim == Id)
+    return nullptr;
+  WorkDeque &D = Deques[Victim];
+  std::unique_lock<std::mutex> Lock(D.M, std::try_to_lock);
+  if (!Lock.owns_lock() || D.Q.empty())
+    return nullptr;
+  Task *T = D.Q.front();
+  D.Q.pop_front();
+  T->Taken = true;
+  return T;
+}
+
+void Scheduler::waitHelping(int Id, Task *T) {
+  // The forked task was stolen; execute other pending work until it is done.
+  int Spins = 0;
+  while (!T->Done.load(std::memory_order_acquire)) {
+    Task *Other = popOwn(Id);
+    if (!Other)
+      Other = steal(Id);
+    if (Other) {
+      runTask(Other);
+      Spins = 0;
+      continue;
+    }
+    if (++Spins > 256) {
+      std::this_thread::yield();
+      Spins = 0;
+    }
+  }
+}
+
+void Scheduler::workerLoop(int Id) {
+  ThisWorkerId = Id;
+  int Spins = 0;
+  while (!Stop.load(std::memory_order_acquire)) {
+    Task *T = popOwn(Id);
+    if (!T)
+      T = steal(Id);
+    if (T) {
+      runTask(T);
+      Spins = 0;
+      continue;
+    }
+    // Escalating backoff: a herd of idle workers spin-stealing interferes
+    // badly with small sequential operations (mutex and cache-line
+    // traffic), so after a short spinning phase idle workers go to sleep.
+    ++Spins;
+    if (Spins > 4096) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    } else if (Spins > 1024) {
+      std::this_thread::yield();
+    }
+  }
+}

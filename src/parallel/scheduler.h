@@ -1,0 +1,186 @@
+//===- scheduler.h - Work-stealing fork-join scheduler -------------------===//
+//
+// Part of the CPAM reproduction of "PaC-trees: Supporting Parallel and
+// Compressed Purely-Functional Collections" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal work-stealing fork-join scheduler in the style of ParlayLib,
+/// which the original CPAM uses as its parallel substrate. The model is
+/// binary forking: parDo(f1, f2) runs the two thunks, possibly in parallel,
+/// and returns only when both are complete. Tasks are allocated on the
+/// forking thread's stack; a per-worker deque holds pending right-hand
+/// branches, and idle workers steal from the front (oldest, hence largest)
+/// end of a random victim's deque.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_PARALLEL_SCHEDULER_H
+#define CPAM_PARALLEL_SCHEDULER_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cpam {
+namespace par {
+
+/// A unit of work produced by a fork. The task object lives on the forking
+/// thread's stack; the forker does not return from parDo until the task has
+/// run, so no heap allocation or reference counting is required.
+struct Task {
+  void (*Run)(void *Env) = nullptr;
+  void *Env = nullptr;
+  /// Set (under the owning deque's lock) when some thread claims the task.
+  bool Taken = false;
+  /// Set with release semantics when the task body has finished.
+  std::atomic<bool> Done{false};
+};
+
+/// The process-wide scheduler. The first thread to touch the scheduler
+/// (normally the main thread) is registered as worker 0; numWorkers()-1
+/// additional threads are spawned. Threads that are not pool members can
+/// still call parDo; they simply run both branches sequentially.
+class Scheduler {
+public:
+  /// Returns the singleton, creating the thread pool on first use.
+  static Scheduler &get();
+
+  ~Scheduler();
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
+
+  int numWorkers() const { return NumWorkers; }
+
+  /// Returns the calling thread's worker id, or -1 for non-pool threads.
+  static int workerId();
+
+  /// When true, parDo runs both branches inline on the calling thread.
+  /// Used by benchmarks to measure honest single-thread (T1) times.
+  static std::atomic<bool> &sequentialMode() {
+    static std::atomic<bool> Seq{false};
+    return Seq;
+  }
+
+  /// Runs \p f1 and \p f2 to completion, potentially in parallel.
+  template <class F1, class F2> void parDo(F1 &&f1, F2 &&f2) {
+    int Id = workerId();
+    if (Id < 0 || sequentialMode().load(std::memory_order_relaxed)) {
+      // Not a pool thread (e.g. a user-spawned std::thread): degrade to
+      // sequential execution, which is always correct.
+      f1();
+      f2();
+      return;
+    }
+    Task T;
+    T.Env = &f2;
+    T.Run = [](void *Env) { (*static_cast<F2 *>(Env))(); };
+    push(Id, &T);
+    f1();
+    if (tryReclaim(Id, &T)) {
+      f2();
+      return;
+    }
+    waitHelping(Id, &T);
+  }
+
+private:
+  struct WorkDeque {
+    std::mutex M;
+    std::deque<Task *> Q;
+  };
+
+  Scheduler();
+
+  void push(int Id, Task *T);
+  /// Removes \p T from worker \p Id's deque if nobody has claimed it yet.
+  bool tryReclaim(int Id, Task *T);
+  /// Runs other pending tasks until \p T completes.
+  void waitHelping(int Id, Task *T);
+  /// Pops the newest task from the caller's own deque.
+  Task *popOwn(int Id);
+  /// Steals the oldest task from a random victim.
+  Task *steal(int Id);
+  void workerLoop(int Id);
+  static void runTask(Task *T) {
+    T->Run(T->Env);
+    T->Done.store(true, std::memory_order_release);
+  }
+
+  int NumWorkers;
+  std::vector<WorkDeque> Deques;
+  std::vector<std::thread> Threads;
+  std::atomic<bool> Stop{false};
+  std::atomic<int> NumIdle{0};
+};
+
+/// Number of worker threads (reads CPAM_NUM_THREADS, defaulting to the
+/// hardware concurrency).
+inline int num_workers() { return Scheduler::get().numWorkers(); }
+
+/// Id of the calling worker in [0, num_workers()), or -1 off-pool.
+inline int worker_id() { return Scheduler::workerId(); }
+
+/// Forces all fork-join constructs to run sequentially (for T1 timing).
+inline void set_sequential(bool Seq) {
+  Scheduler::sequentialMode().store(Seq, std::memory_order_relaxed);
+}
+
+/// Fork-join: run both thunks, potentially in parallel.
+template <class F1, class F2> void par_do(F1 &&f1, F2 &&f2) {
+  Scheduler::get().parDo(std::forward<F1>(f1), std::forward<F2>(f2));
+}
+
+/// Conditional fork-join: parallel only if \p DoParallel.
+template <class F1, class F2>
+void par_do_if(bool DoParallel, F1 &&f1, F2 &&f2) {
+  if (DoParallel) {
+    par_do(std::forward<F1>(f1), std::forward<F2>(f2));
+    return;
+  }
+  f1();
+  f2();
+}
+
+namespace detail {
+template <class F>
+void parallel_for_rec(size_t Lo, size_t Hi, const F &f, size_t Gran) {
+  if (Hi - Lo <= Gran) {
+    for (size_t I = Lo; I < Hi; ++I)
+      f(I);
+    return;
+  }
+  size_t Mid = Lo + (Hi - Lo) / 2;
+  par_do([&] { parallel_for_rec(Lo, Mid, f, Gran); },
+         [&] { parallel_for_rec(Mid, Hi, f, Gran); });
+}
+} // namespace detail
+
+/// Parallel loop over [Lo, Hi). \p Gran is the largest chunk executed
+/// sequentially; 0 picks a default based on the range size and worker count.
+template <class F>
+void parallel_for(size_t Lo, size_t Hi, const F &f, size_t Gran = 0) {
+  if (Lo >= Hi)
+    return;
+  size_t N = Hi - Lo;
+  if (Gran == 0) {
+    size_t PerWorker = N / (8 * static_cast<size_t>(num_workers()) + 1);
+    Gran = std::max<size_t>(1, std::min<size_t>(2048, PerWorker));
+  }
+  if (N <= Gran) {
+    for (size_t I = Lo; I < Hi; ++I)
+      f(I);
+    return;
+  }
+  detail::parallel_for_rec(Lo, Hi, f, Gran);
+}
+
+} // namespace par
+} // namespace cpam
+
+#endif // CPAM_PARALLEL_SCHEDULER_H

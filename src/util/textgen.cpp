@@ -1,0 +1,75 @@
+//===- textgen.cpp - Zipfian text corpus generator -------------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/util/textgen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/parallel/random.h"
+#include "src/parallel/scheduler.h"
+
+using namespace cpam;
+
+std::string cpam::word_string(uint32_t Id) {
+  // Bijective base-26 so every id maps to a unique nonempty word.
+  std::string S;
+  uint64_t X = Id + 1;
+  while (X > 0) {
+    X -= 1;
+    S.push_back(static_cast<char>('a' + (X % 26)));
+    X /= 26;
+  }
+  std::reverse(S.begin(), S.end());
+  return S;
+}
+
+Corpus cpam::generate_corpus(size_t NumTokens, size_t VocabSize,
+                             size_t NumDocs, double Exponent, uint64_t Seed) {
+  assert(VocabSize > 0 && NumDocs > 0 && "empty corpus requested");
+  Corpus C;
+
+  // Zipf CDF over the vocabulary. Rank r has weight 1/(r+1)^s.
+  std::vector<double> Cdf(VocabSize);
+  double Total = 0;
+  for (size_t R = 0; R < VocabSize; ++R) {
+    Total += 1.0 / std::pow(static_cast<double>(R + 1), Exponent);
+    Cdf[R] = Total;
+  }
+  for (size_t R = 0; R < VocabSize; ++R)
+    Cdf[R] /= Total;
+
+  // Word ids are assigned to ranks pseudo-randomly so that frequent words
+  // are not all lexicographically small (as in real text).
+  std::vector<uint32_t> RankToWord(VocabSize);
+  for (size_t R = 0; R < VocabSize; ++R)
+    RankToWord[R] = static_cast<uint32_t>(R);
+  Rng Shuffle(Seed ^ 0xbeef);
+  for (size_t R = VocabSize - 1; R > 0; --R)
+    std::swap(RankToWord[R], RankToWord[Shuffle.ith(R, R + 1)]);
+
+  C.Tokens.resize(NumTokens);
+  Rng R(Seed);
+  par::parallel_for(0, NumTokens, [&](size_t I) {
+    double X = R.ith_double(I);
+    size_t Rank =
+        std::lower_bound(Cdf.begin(), Cdf.end(), X) - Cdf.begin();
+    if (Rank >= VocabSize)
+      Rank = VocabSize - 1;
+    C.Tokens[I] = RankToWord[Rank];
+  });
+
+  C.DocOffsets.resize(NumDocs + 1);
+  for (size_t D = 0; D <= NumDocs; ++D)
+    C.DocOffsets[D] = D * NumTokens / NumDocs;
+
+  C.Words.resize(VocabSize);
+  par::parallel_for(0, VocabSize, [&](size_t W) {
+    C.Words[W] = word_string(static_cast<uint32_t>(W));
+  });
+  return C;
+}

@@ -1,0 +1,50 @@
+//===- textgen.h - Zipfian text corpus generator ---------------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic Zipf-distributed synthetic text corpus, standing in for the
+/// Wikipedia dump used by the paper's inverted index and Spark comparisons
+/// (Secs. 10.2/10.3). Word frequencies follow a Zipf law (exponent ~1),
+/// which is the property the paper's space results depend on: frequent words
+/// dominate posting-list space and their sorted doc-id deltas are small.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_UTIL_TEXTGEN_H
+#define CPAM_UTIL_TEXTGEN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpam {
+
+/// A generated corpus: a token stream of word ids partitioned into
+/// documents, plus the vocabulary strings.
+struct Corpus {
+  /// Word id of every token, in document order.
+  std::vector<uint32_t> Tokens;
+  /// DocOffsets[d] .. DocOffsets[d+1] is document d's token range.
+  std::vector<uint64_t> DocOffsets;
+  /// Vocabulary: Words[w] is the string for word id w.
+  std::vector<std::string> Words;
+
+  size_t num_docs() const { return DocOffsets.size() - 1; }
+};
+
+/// Generates a corpus of \p NumTokens tokens over a \p VocabSize -word
+/// Zipf(s=\p Exponent) vocabulary, split into \p NumDocs documents of
+/// near-equal length.
+Corpus generate_corpus(size_t NumTokens, size_t VocabSize, size_t NumDocs,
+                       double Exponent = 1.0, uint64_t Seed = 7);
+
+/// Deterministic lowercase word string for a word id ("a", "b", ..., "aa").
+std::string word_string(uint32_t Id);
+
+} // namespace cpam
+
+#endif // CPAM_UTIL_TEXTGEN_H

@@ -1,0 +1,54 @@
+//===- timer.h - Wall-clock timing helper ----------------------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_UTIL_TIMER_H
+#define CPAM_UTIL_TIMER_H
+
+#include <chrono>
+
+namespace cpam {
+
+/// Simple monotonic wall-clock timer measuring seconds since construction or
+/// the last reset().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+  void reset() { Start = Clock::now(); }
+  /// Elapsed seconds.
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+  /// Elapsed milliseconds.
+  double elapsed_ms() const { return elapsed() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Runs \p f \p Reps times and returns the median elapsed seconds.
+template <class F> double median_time(const F &f, int Reps = 3) {
+  double Best[16];
+  if (Reps > 16)
+    Reps = 16;
+  for (int I = 0; I < Reps; ++I) {
+    Timer T;
+    f();
+    Best[I] = T.elapsed();
+  }
+  // Insertion sort the few samples and return the median.
+  for (int I = 1; I < Reps; ++I)
+    for (int J = I; J > 0 && Best[J] < Best[J - 1]; --J) {
+      double Tmp = Best[J];
+      Best[J] = Best[J - 1];
+      Best[J - 1] = Tmp;
+    }
+  return Best[Reps / 2];
+}
+
+} // namespace cpam
+
+#endif // CPAM_UTIL_TIMER_H

@@ -1,0 +1,161 @@
+//===- test_api_surface.cpp - API corners and composition -------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Coverage for API corners not hit elsewhere: root adoption, empty-value
+// semantics across all operations, foreach early exit, batch operations on
+// pre-sorted inputs, move semantics, and cross-encoder equality.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gtest/gtest.h"
+
+#include "src/api/aug_map.h"
+#include "src/api/pam_map.h"
+#include "src/api/pam_set.h"
+#include "src/encoding/diff_encoder.h"
+#include "src/parallel/random.h"
+
+using namespace cpam;
+
+namespace {
+
+using M = pam_map<uint64_t, uint64_t, 16>;
+using S = pam_set<uint64_t, 16>;
+
+TEST(ApiSurface, EmptyCollectionOperations) {
+  M Empty;
+  EXPECT_FALSE(Empty.first().has_value());
+  EXPECT_FALSE(Empty.last().has_value());
+  EXPECT_FALSE(Empty.next(5).has_value());
+  EXPECT_FALSE(Empty.previous(5).has_value());
+  EXPECT_EQ(Empty.rank(99), 0u);
+  EXPECT_EQ(Empty.range(1, 10).size(), 0u);
+  EXPECT_EQ(Empty.filter([](const auto &) { return true; }).size(), 0u);
+  EXPECT_EQ(Empty.multi_insert({}).size(), 0u);
+  EXPECT_EQ(Empty.multi_delete({1, 2, 3}).size(), 0u);
+  EXPECT_EQ(Empty.to_vector().size(), 0u);
+  EXPECT_EQ(M::map_union(Empty, Empty).size(), 0u);
+  EXPECT_EQ(M::map_intersect(Empty, Empty).size(), 0u);
+  EXPECT_EQ(M::map_difference(Empty, Empty).size(), 0u);
+  EXPECT_EQ(Empty.size_in_bytes(), 0u);
+  EXPECT_EQ(Empty.node_count(), 0u);
+}
+
+TEST(ApiSurface, SingletonCollection) {
+  M One = M().insert(7, 42);
+  EXPECT_EQ(One.size(), 1u);
+  EXPECT_EQ(One.first()->first, 7u);
+  EXPECT_EQ(One.last()->first, 7u);
+  EXPECT_EQ(One.select(0).second, 42u);
+  EXPECT_EQ(One.rank(7), 0u);
+  EXPECT_EQ(One.rank(8), 1u);
+  EXPECT_EQ(One.check_invariants(), "");
+  M None = One.remove(7);
+  EXPECT_TRUE(None.empty());
+}
+
+TEST(ApiSurface, ForeachEarlyExit) {
+  std::vector<std::pair<uint64_t, uint64_t>> E;
+  for (uint64_t I = 0; I < 1000; ++I)
+    E.push_back({I, I});
+  M Map(E);
+  size_t Visited = 0;
+  Map.foreach_seq([&](const auto &) { return ++Visited < 10; });
+  EXPECT_EQ(Visited, 10u);
+  // Void-returning callbacks visit everything.
+  Visited = 0;
+  Map.foreach_seq([&](const auto &) { ++Visited; });
+  EXPECT_EQ(Visited, 1000u);
+}
+
+TEST(ApiSurface, MoveSemantics) {
+  std::vector<uint64_t> Keys = {1, 2, 3, 4, 5};
+  S A(Keys), B(Keys);
+  S Moved = std::move(A);
+  EXPECT_EQ(Moved.size(), 5u);
+  EXPECT_EQ(A.size(), 0u); // Moved-from is empty, not dangling.
+  S U = S::map_union(std::move(Moved), std::move(B));
+  EXPECT_EQ(U.size(), 5u);
+  EXPECT_EQ(U.check_invariants(), "");
+  // Self-assignment safety.
+  U = U;
+  EXPECT_EQ(U.size(), 5u);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wself-move"
+  U = std::move(U);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(U.size(), 5u);
+}
+
+TEST(ApiSurface, TakeRootRoundTrip) {
+  std::vector<uint64_t> Keys = {10, 20, 30};
+  S A(Keys);
+  auto *R = S::ops::inc(A.root());
+  S B = S::take_root(R);
+  EXPECT_EQ(B.size(), 3u);
+  EXPECT_TRUE(B.contains(20));
+}
+
+TEST(ApiSurface, MultiInsertSortedFastPath) {
+  std::vector<std::pair<uint64_t, uint64_t>> Sorted;
+  for (uint64_t I = 0; I < 500; ++I)
+    Sorted.push_back({2 * I, I});
+  M A = M().multi_insert_sorted(Sorted);
+  EXPECT_EQ(A.size(), 500u);
+  std::vector<std::pair<uint64_t, uint64_t>> More;
+  for (uint64_t I = 0; I < 500; ++I)
+    More.push_back({2 * I + 1, I});
+  M B = A.multi_insert_sorted(More);
+  EXPECT_EQ(B.size(), 1000u);
+  EXPECT_EQ(B.check_invariants(), "");
+  // multi_delete_sorted drops exactly the given keys.
+  std::vector<uint64_t> Del;
+  for (uint64_t I = 0; I < 1000; I += 4)
+    Del.push_back(I);
+  M C = B.multi_delete_sorted(Del);
+  EXPECT_EQ(C.size(), 750u);
+  for (uint64_t I = 0; I < 1000; ++I)
+    EXPECT_EQ(C.contains(I), I % 4 != 0) << I;
+}
+
+TEST(ApiSurface, BuildMoveMatchesBuildCopy) {
+  Rng R(3);
+  std::vector<std::pair<uint64_t, uint64_t>> E(5000);
+  for (size_t I = 0; I < E.size(); ++I)
+    E[I] = {R.ith(I, 2000), I};
+  M Copy(E);
+  std::vector<std::pair<uint64_t, uint64_t>> Relinquished = E;
+  M Move(std::move(Relinquished), take_right()); // rvalue build
+  EXPECT_EQ(Copy.size(), Move.size());
+  EXPECT_EQ(Copy.to_vector(), Move.to_vector());
+}
+
+TEST(ApiSurface, CrossEncoderEquality) {
+  Rng R(4);
+  std::vector<uint64_t> Keys(3000);
+  for (size_t I = 0; I < Keys.size(); ++I)
+    Keys[I] = R.ith(I, 100000);
+  pam_set<uint64_t, 16> Raw(Keys);
+  pam_set<uint64_t, 16, diff_encoder> Diff(Keys);
+  EXPECT_EQ(Raw.to_vector(), Diff.to_vector());
+  // Mixed-operation parity.
+  auto RawOut = Raw.remove(Keys[0]).insert(424242).range(100, 90000);
+  auto DiffOut = Diff.remove(Keys[0]).insert(424242).range(100, 90000);
+  EXPECT_EQ(RawOut.to_vector(), DiffOut.to_vector());
+}
+
+TEST(ApiSurface, AugMapValueFind) {
+  using A = aug_map<aug_max_entry<uint64_t, uint64_t>, 8>;
+  A Map(std::vector<std::pair<uint64_t, uint64_t>>{{1, 10}, {2, 20}});
+  EXPECT_EQ(*Map.find(2), 20u);
+  EXPECT_FALSE(Map.find(3).has_value());
+  EXPECT_EQ(Map.aug_val(), 20u);
+  A Map2 = Map.insert(3, 99);
+  EXPECT_EQ(Map2.aug_val(), 99u);
+  EXPECT_EQ(Map.aug_val(), 20u);
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+//===- test_aug.cpp - Augmented map queries vs brute force -----------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+
+#include "src/api/aug_map.h"
+#include "src/api/pam_set.h"
+#include "src/encoding/diff_encoder.h"
+#include "src/parallel/random.h"
+
+using namespace cpam;
+
+namespace {
+
+template <class MapT> class AugSumTest : public ::testing::Test {};
+
+using SumEntry = aug_sum_entry<uint64_t, uint64_t>;
+using AugSumTypes =
+    ::testing::Types<aug_map<SumEntry, 0>, aug_map<SumEntry, 2>,
+                     aug_map<SumEntry, 16>, aug_map<SumEntry, 128>,
+                     aug_map<SumEntry, 64, diff_encoder>>;
+TYPED_TEST_SUITE(AugSumTest, AugSumTypes);
+
+TYPED_TEST(AugSumTest, AugValIsTotalSum) {
+  std::vector<std::pair<uint64_t, uint64_t>> E;
+  uint64_t Total = 0;
+  for (uint64_t I = 0; I < 4000; ++I) {
+    E.push_back({2 * I, I});
+    Total += I;
+  }
+  TypeParam M(E);
+  EXPECT_EQ(M.aug_val(), Total);
+  EXPECT_EQ(M.check_invariants(), "");
+}
+
+TYPED_TEST(AugSumTest, AugRangeMatchesBruteForce) {
+  std::vector<std::pair<uint64_t, uint64_t>> E;
+  Rng R(3);
+  for (uint64_t I = 0; I < 2000; ++I)
+    E.push_back({3 * I, R.ith(I, 100)});
+  TypeParam M(E);
+  Rng Q(4);
+  for (int T = 0; T < 200; ++T) {
+    uint64_t Lo = Q.ith(2 * T, 6500);
+    uint64_t Hi = Lo + Q.ith(2 * T + 1, 6500 - Lo);
+    uint64_t Expect = 0;
+    for (auto &[K, V] : E)
+      if (K >= Lo && K <= Hi)
+        Expect += V;
+    ASSERT_EQ(M.aug_range(Lo, Hi), Expect) << "[" << Lo << "," << Hi << "]";
+  }
+  // Prefix and suffix aggregates.
+  for (uint64_t K : {0ul, 1ul, 2999ul, 3000ul, 9999ul}) {
+    uint64_t L = 0, Rr = 0;
+    for (auto &[Key, V] : E) {
+      if (Key <= K)
+        L += V;
+      if (Key >= K)
+        Rr += V;
+    }
+    ASSERT_EQ(M.aug_left(K), L);
+    ASSERT_EQ(M.aug_right(K), Rr);
+  }
+}
+
+TYPED_TEST(AugSumTest, AugMaintainedThroughUpdates) {
+  TypeParam M;
+  uint64_t Total = 0;
+  Rng R(5);
+  for (int I = 0; I < 800; ++I) {
+    uint64_t K = R.ith(I, 500), V = R.ith(I + 10000, 50);
+    auto Old = M.find_entry(K);
+    if (Old)
+      Total -= Old->second;
+    Total += V;
+    M.insert_inplace(K, V);
+    if (I % 97 == 0) {
+      ASSERT_EQ(M.aug_val(), Total);
+      ASSERT_EQ(M.check_invariants(), "");
+    }
+  }
+  // Deletions keep the aggregate in sync as well.
+  for (int I = 0; I < 400; ++I) {
+    uint64_t K = R.ith(I + 50000, 500);
+    auto Old = M.find_entry(K);
+    if (Old)
+      Total -= Old->second;
+    M.remove_inplace(K);
+    if (I % 83 == 0)
+      ASSERT_EQ(M.aug_val(), Total);
+  }
+}
+
+TYPED_TEST(AugSumTest, AugMaintainedThroughSetOps) {
+  std::vector<std::pair<uint64_t, uint64_t>> A, B;
+  for (uint64_t I = 0; I < 1000; ++I)
+    A.push_back({I, 1});
+  for (uint64_t I = 500; I < 1500; ++I)
+    B.push_back({I, 10});
+  TypeParam MA(A), MB(B);
+  TypeParam U = TypeParam::map_union(MA, MB, std::plus<uint64_t>());
+  // 500 keys with value 1, 500 with 11, 500 with 10.
+  EXPECT_EQ(U.aug_val(), 500u * 1 + 500u * 11 + 500u * 10);
+  TypeParam X = TypeParam::map_intersect(MA, MB, std::plus<uint64_t>());
+  EXPECT_EQ(X.aug_val(), 500u * 11);
+  TypeParam D = TypeParam::map_difference(MA, MB);
+  EXPECT_EQ(D.aug_val(), 500u * 1);
+}
+
+using MaxEntry = aug_max_entry<uint64_t, uint64_t>;
+
+TEST(AugMax, AugFilterPrunes) {
+  using M = aug_map<MaxEntry, 16>;
+  std::vector<std::pair<uint64_t, uint64_t>> E;
+  for (uint64_t I = 0; I < 3000; ++I)
+    E.push_back({I, I % 100});
+  M Map(E);
+  M Big = Map.aug_filter([](uint64_t A) { return A >= 90; });
+  EXPECT_EQ(Big.size(), 300u);
+  EXPECT_EQ(Big.check_invariants(), "");
+  Big.foreach_seq([](const auto &Ent) { EXPECT_GE(Ent.second, 90u); });
+}
+
+TEST(AugMax, AugFindFirst) {
+  using M = aug_map<MaxEntry, 8>;
+  std::vector<std::pair<uint64_t, uint64_t>> E;
+  for (uint64_t I = 0; I < 1000; ++I)
+    E.push_back({I, I == 637 ? 999u : I % 10});
+  M Map(E);
+  auto Hit = Map.aug_find_first([](uint64_t A) { return A >= 500; });
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->first, 637u);
+  EXPECT_FALSE(
+      Map.aug_find_first([](uint64_t A) { return A >= 5000; }).has_value());
+}
+
+TEST(AugMax, RangeQueriesUseMax) {
+  using M = aug_map<MaxEntry, 32>;
+  std::vector<std::pair<uint64_t, uint64_t>> E;
+  Rng R(6);
+  for (uint64_t I = 0; I < 5000; ++I)
+    E.push_back({I, R.ith(I, 1000000)});
+  M Map(E);
+  Rng Q(7);
+  for (int T = 0; T < 100; ++T) {
+    uint64_t Lo = Q.ith(2 * T, 5000);
+    uint64_t Hi = std::min<uint64_t>(4999, Lo + Q.ith(2 * T + 1, 400));
+    uint64_t Expect = std::numeric_limits<uint64_t>::lowest();
+    for (uint64_t K = Lo; K <= Hi; ++K)
+      Expect = std::max(Expect, E[K].second);
+    ASSERT_EQ(Map.aug_range(Lo, Hi), Expect);
+  }
+}
+
+// Nested structure: an augmented map whose values are themselves PaC-trees
+// (the pattern used by the range tree and the graph representation). The
+// augmented value is the total size of all inner sets.
+struct NestedEntry {
+  using inner_set = pam_set<uint32_t, 8>;
+  using key_t = uint32_t;
+  using val_t = inner_set;
+  using entry_t = std::pair<uint32_t, inner_set>;
+  using aug_t = size_t;
+  static constexpr bool has_val = true;
+  static const key_t &get_key(const entry_t &E) { return E.first; }
+  static const val_t &get_val(const entry_t &E) { return E.second; }
+  static val_t &get_val(entry_t &E) { return E.second; }
+  static bool comp(key_t A, key_t B) { return A < B; }
+  static aug_t aug_empty() { return 0; }
+  static aug_t aug_from_entry(const entry_t &E) { return E.second.size(); }
+  static aug_t aug_combine(aug_t A, aug_t B) { return A + B; }
+};
+
+TEST(NestedTrees, TreesAsValues) {
+  using Outer = aug_map<NestedEntry, 4>;
+  int64_t Before = alloc_stats::live_object_count();
+  {
+    std::vector<typename Outer::entry_t> E;
+    size_t Total = 0;
+    for (uint32_t I = 0; I < 200; ++I) {
+      std::vector<uint32_t> Inner;
+      for (uint32_t J = 0; J <= I % 17; ++J)
+        Inner.push_back(J);
+      Total += Inner.size();
+      E.push_back({I, NestedEntry::inner_set(Inner)});
+    }
+    Outer M(E);
+    EXPECT_EQ(M.size(), 200u);
+    EXPECT_EQ(M.aug_val(), Total);
+    auto Found = M.find_entry(16);
+    ASSERT_TRUE(Found.has_value());
+    EXPECT_EQ(Found->second.size(), 17u);
+    EXPECT_TRUE(Found->second.contains(16));
+    // Functional update of one inner set: snapshot the outer map first.
+    Outer Snapshot = M;
+    auto Entry16 = *M.find_entry(16);
+    M.insert_inplace({16, Entry16.second.insert(999)});
+    EXPECT_EQ(M.find_entry(16)->second.size(), 18u);
+    EXPECT_EQ(Snapshot.find_entry(16)->second.size(), 17u)
+        << "snapshot must not observe the new inner tree";
+    EXPECT_EQ(M.aug_val(), Total + 1);
+  }
+  EXPECT_EQ(alloc_stats::live_object_count(), Before)
+      << "nested trees leaked";
+}
+
+} // namespace

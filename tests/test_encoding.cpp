@@ -1,0 +1,179 @@
+//===- test_encoding.cpp - varint and block encoder tests -------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "src/core/entry.h"
+#include "src/encoding/diff_encoder.h"
+#include "src/encoding/raw_encoder.h"
+#include "src/encoding/varint.h"
+#include "src/parallel/random.h"
+
+using namespace cpam;
+
+namespace {
+
+TEST(Varint, RoundTripBoundaries) {
+  std::vector<uint64_t> Values = {0,       1,       127,        128,
+                                  16383,   16384,   2097151,    2097152,
+                                  UINT32_MAX, UINT64_MAX, UINT64_MAX - 1};
+  for (uint64_t V : Values) {
+    uint8_t Buf[10];
+    uint8_t *End = varint_encode(V, Buf);
+    EXPECT_EQ(static_cast<size_t>(End - Buf), varint_size(V));
+    uint64_t Out;
+    const uint8_t *Read = varint_decode(Buf, Out);
+    EXPECT_EQ(Out, V);
+    EXPECT_EQ(Read, End);
+  }
+}
+
+TEST(Varint, SizeIsMinimal) {
+  EXPECT_EQ(varint_size(0), 1u);
+  EXPECT_EQ(varint_size(127), 1u);
+  EXPECT_EQ(varint_size(128), 2u);
+  EXPECT_EQ(varint_size(16383), 2u);
+  EXPECT_EQ(varint_size(16384), 3u);
+  EXPECT_EQ(varint_size(UINT64_MAX), 10u);
+}
+
+TEST(Varint, RandomRoundTrip) {
+  Rng R(1);
+  uint8_t Buf[10];
+  for (int I = 0; I < 10000; ++I) {
+    // Mix magnitudes so every byte-length is exercised.
+    uint64_t V = R.ith(I) >> (R.ith(I + 50000) % 64);
+    varint_encode(V, Buf);
+    uint64_t Out;
+    varint_decode(Buf, Out);
+    ASSERT_EQ(Out, V);
+  }
+}
+
+TEST(ZigZag, RoundTrip) {
+  for (int64_t V : {0l, 1l, -1l, 63l, -64l, INT64_MAX, INT64_MIN})
+    EXPECT_EQ(zigzag_decode(zigzag_encode(V)), V);
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+}
+
+template <class Enc, class EntryT>
+void roundTrip(const std::vector<typename EntryT::entry_t> &Entries) {
+  using entry_t = typename EntryT::entry_t;
+  size_t Bytes = Enc::encoded_size(Entries.data(), Entries.size());
+  std::vector<uint8_t> Buf(Bytes);
+  std::vector<entry_t> Copy = Entries;
+  Enc::encode(Copy.data(), Copy.size(), Buf.data());
+  // decode
+  std::vector<entry_t> Out(Entries.size());
+  Enc::destroy(Buf.data(), 0); // No-op smoke.
+  std::vector<uint8_t> Buf2 = Buf;
+  Enc::decode(Buf2.data(), Entries.size(),
+              reinterpret_cast<entry_t *>(Out.data()));
+  EXPECT_EQ(Out, Entries);
+  // for_each_while visits in order
+  size_t I = 0;
+  Enc::for_each_while(Buf.data(), Entries.size(), [&](const entry_t &E) {
+    EXPECT_EQ(E, Entries[I]) << "index " << I;
+    ++I;
+    return true;
+  });
+  EXPECT_EQ(I, Entries.size());
+  // early exit stops
+  I = 0;
+  bool Finished = Enc::for_each_while(Buf.data(), Entries.size(),
+                                      [&](const entry_t &) {
+                                        return ++I < 3;
+                                      });
+  if (Entries.size() >= 3) {
+    EXPECT_FALSE(Finished);
+    EXPECT_EQ(I, 3u);
+  }
+}
+
+TEST(DiffEncoder, SetRoundTrip) {
+  using E = set_entry<uint64_t>;
+  std::vector<uint64_t> Keys = {5};
+  roundTrip<diff_encoder<E>, E>(Keys);
+  Keys = {0, 1, 2, 3, 1000, 1000000, uint64_t(1) << 40};
+  roundTrip<diff_encoder<E>, E>(Keys);
+  // Dense keys compress to ~1 byte per key after the first.
+  std::vector<uint64_t> Dense(1000);
+  for (size_t I = 0; I < Dense.size(); ++I)
+    Dense[I] = 10000 + I * 3;
+  roundTrip<diff_encoder<E>, E>(Dense);
+  size_t Bytes = diff_encoder<E>::encoded_size(Dense.data(), Dense.size());
+  EXPECT_LT(Bytes, Dense.size() + 8);
+}
+
+TEST(DiffEncoder, MapRoundTripRawValues) {
+  using E = map_entry<uint32_t, uint32_t>;
+  std::vector<std::pair<uint32_t, uint32_t>> Entries;
+  Rng R(7);
+  uint32_t K = 0;
+  for (int I = 0; I < 500; ++I) {
+    K += 1 + R.ith(I, 100);
+    Entries.push_back({K, static_cast<uint32_t>(R.ith(I + 900))});
+  }
+  roundTrip<diff_encoder<E>, E>(Entries);
+  // Values raw: 4 bytes each, keys ~1 byte.
+  size_t Bytes = diff_encoder<E>::encoded_size(Entries.data(),
+                                               Entries.size());
+  EXPECT_LT(Bytes, Entries.size() * 6 + 8);
+  EXPECT_GE(Bytes, Entries.size() * 5);
+}
+
+TEST(DiffValEncoder, ByteCodedValuesSmaller) {
+  using E = map_entry<uint32_t, uint32_t>;
+  std::vector<std::pair<uint32_t, uint32_t>> Entries;
+  for (uint32_t I = 0; I < 500; ++I)
+    Entries.push_back({10 * I, I % 50}); // Small values.
+  roundTrip<diff_val_encoder<E>, E>(Entries);
+  size_t Raw = diff_encoder<E>::encoded_size(Entries.data(), Entries.size());
+  size_t Coded =
+      diff_val_encoder<E>::encoded_size(Entries.data(), Entries.size());
+  EXPECT_LT(Coded, Raw) << "byte-coded small values should shrink";
+  EXPECT_LT(Coded, Entries.size() * 3);
+}
+
+TEST(RawEncoder, TrivialType) {
+  using E = set_entry<uint64_t>;
+  std::vector<uint64_t> Keys = {9, 1, 4, 4, 0}; // Raw keeps any order.
+  roundTrip<raw_encoder<E>, E>(Keys);
+  EXPECT_EQ(raw_encoder<E>::encoded_size(Keys.data(), Keys.size()),
+            Keys.size() * 8);
+}
+
+TEST(RawEncoder, NonTrivialType) {
+  using E = set_entry<std::string>;
+  std::vector<std::string> Keys = {"alpha", "a string long enough to heap-allocate",
+                                   "", "zed"};
+  size_t Bytes = raw_encoder<E>::encoded_size(Keys.data(), Keys.size());
+  std::vector<uint8_t> Buf(Bytes);
+  std::vector<std::string> Copy = Keys;
+  raw_encoder<E>::encode(Copy.data(), Copy.size(), Buf.data());
+  // Visit, then destroy the encoded block's owned strings.
+  size_t I = 0;
+  raw_encoder<E>::for_each_while(Buf.data(), Keys.size(),
+                                 [&](const std::string &S) {
+                                   EXPECT_EQ(S, Keys[I++]);
+                                   return true;
+                                 });
+  // decode_move extracts into raw storage; the block is then dead (no
+  // destroy call needed for the moved-out entries).
+  alignas(std::string) unsigned char Storage[8 * sizeof(std::string)];
+  std::string *Out = reinterpret_cast<std::string *>(Storage);
+  raw_encoder<E>::decode_move(Buf.data(), Keys.size(), Out);
+  for (size_t J = 0; J < Keys.size(); ++J) {
+    EXPECT_EQ(Out[J], Keys[J]);
+    Out[J].~basic_string();
+  }
+}
+
+} // namespace

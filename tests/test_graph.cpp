@@ -1,0 +1,399 @@
+//===- test_graph.cpp - Graph layer and algorithms vs references -----------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "gtest/gtest.h"
+
+#include "src/api/pam_map.h"
+#include "src/baselines/aspen_graph.h"
+#include "src/baselines/csr_graph.h"
+#include "src/graph/bc.h"
+#include "src/graph/bfs.h"
+#include "src/graph/graph.h"
+#include "src/graph/mis.h"
+
+using namespace cpam;
+
+namespace {
+
+using AdjRef = std::map<vertex_id, std::set<vertex_id>>;
+
+AdjRef toRef(const std::vector<edge_pair> &Edges) {
+  AdjRef Ref;
+  for (auto &[U, V] : Edges)
+    Ref[U].insert(V);
+  return Ref;
+}
+
+/// Sequential reference BFS returning distances.
+std::vector<int64_t> refBfs(const AdjRef &Ref, size_t N, vertex_id Src) {
+  std::vector<int64_t> Dist(N, -1);
+  std::deque<vertex_id> Q{Src};
+  Dist[Src] = 0;
+  while (!Q.empty()) {
+    vertex_id U = Q.front();
+    Q.pop_front();
+    auto It = Ref.find(U);
+    if (It == Ref.end())
+      continue;
+    for (vertex_id V : It->second)
+      if (Dist[V] < 0) {
+        Dist[V] = Dist[U] + 1;
+        Q.push_back(V);
+      }
+  }
+  return Dist;
+}
+
+TEST(SymGraph, BuildMatchesReference) {
+  auto Edges = rmat_graph(10, 4000);
+  size_t N = 1 << 10;
+  sym_graph G = sym_graph::from_edges(Edges, N);
+  EXPECT_EQ(G.check_invariants(), "");
+  EXPECT_EQ(G.num_edges(), Edges.size());
+  AdjRef Ref = toRef(Edges);
+  for (auto &[U, Ns] : Ref) {
+    ASSERT_EQ(G.degree(U), Ns.size());
+    auto ES = G.neighbors(U);
+    for (vertex_id V : Ns)
+      ASSERT_TRUE(ES.contains(V)) << U << "->" << V;
+  }
+  // Flat snapshot agrees.
+  auto Snap = G.flat_snapshot();
+  ASSERT_EQ(Snap.size(), N);
+  for (auto &[U, Ns] : Ref)
+    ASSERT_EQ(Snap[U].size(), Ns.size());
+}
+
+TEST(SymGraph, InsertAndDeleteEdges) {
+  auto Edges = rmat_graph(9, 2000);
+  size_t N = 1 << 9;
+  sym_graph G = sym_graph::from_edges(Edges, N);
+  AdjRef Ref = toRef(Edges);
+
+  // Insert a random batch (symmetrized).
+  auto Raw = rmat_edges(9, 500, {0.5, 0.1, 0.1, 99});
+  std::vector<edge_pair> Batch;
+  for (auto &[U, V] : Raw) {
+    if (U == V)
+      continue;
+    Batch.push_back({U, V});
+    Batch.push_back({V, U});
+    Ref[U].insert(V);
+    Ref[V].insert(U);
+  }
+  sym_graph G2 = G.insert_edges(Batch);
+  EXPECT_EQ(G2.check_invariants(), "");
+  size_t RefEdges = 0;
+  for (auto &[U, Ns] : Ref)
+    RefEdges += Ns.size();
+  EXPECT_EQ(G2.num_edges(), RefEdges);
+  for (auto &[U, Ns] : Ref) {
+    auto ES = G2.neighbors(U);
+    ASSERT_EQ(ES.size(), Ns.size()) << "vertex " << U;
+  }
+  // The old snapshot is untouched (multiversioning).
+  EXPECT_EQ(G.num_edges(), Edges.size());
+
+  // Delete the same batch.
+  sym_graph G3 = G2.delete_edges(Batch);
+  EXPECT_EQ(G3.check_invariants(), "");
+  AdjRef Ref3 = toRef(Edges);
+  for (auto &[U, V] : Batch)
+    Ref3[U].erase(V);
+  size_t Ref3Edges = 0;
+  for (auto &[U, Ns] : Ref3)
+    Ref3Edges += Ns.size();
+  EXPECT_EQ(G3.num_edges(), Ref3Edges);
+}
+
+TEST(SymGraph, DeleteForeignVerticesIsNoop) {
+  auto Edges = rmat_graph(8, 500);
+  sym_graph G = sym_graph::from_edges(Edges, 1 << 8);
+  sym_graph G2 = G.delete_edges({{100000, 5}, {100001, 7}});
+  EXPECT_EQ(G2.num_edges(), G.num_edges());
+}
+
+TEST(Bfs, MatchesReferenceOnRmat) {
+  auto Edges = rmat_graph(11, 8000);
+  size_t N = 1 << 11;
+  sym_graph G = sym_graph::from_edges(Edges, N);
+  auto Snap = G.flat_snapshot();
+  auto Neighbors = make_neighbors(Snap);
+  AdjRef Ref = toRef(Edges);
+  for (vertex_id Src : {0u, 1u, 37u}) {
+    if (!Ref.count(Src))
+      continue;
+    auto Expect = refBfs(Ref, N, Src);
+    auto Parents = bfs(Neighbors, N, Src);
+    // Reached sets agree; parent edges exist and shorten distance by 1.
+    for (size_t V = 0; V < N; ++V) {
+      ASSERT_EQ(Parents[V] != kBfsUnvisited, Expect[V] >= 0) << V;
+      if (Parents[V] != kBfsUnvisited && V != Src) {
+        ASSERT_TRUE(Ref[Parents[V]].count(static_cast<vertex_id>(V)));
+        ASSERT_EQ(Expect[V], Expect[Parents[V]] + 1);
+      }
+    }
+  }
+}
+
+TEST(Bfs, MeshDiameter) {
+  auto Edges = mesh_graph(20);
+  size_t N = 400;
+  sym_graph G = sym_graph::from_edges(Edges, N);
+  auto Snap = G.flat_snapshot();
+  auto Parents = bfs(make_neighbors(Snap), N, 0);
+  AdjRef Ref = toRef(Edges);
+  auto Expect = refBfs(Ref, N, 0);
+  // Corner-to-corner distance on a 20x20 grid is 38.
+  EXPECT_EQ(Expect[399], 38);
+  for (size_t V = 0; V < N; ++V)
+    ASSERT_NE(Parents[V], kBfsUnvisited);
+}
+
+TEST(Mis, IndependentAndMaximal) {
+  auto Edges = rmat_graph(10, 6000);
+  size_t N = 1 << 10;
+  sym_graph G = sym_graph::from_edges(Edges, N);
+  auto Snap = G.flat_snapshot();
+  auto InMis = mis(make_neighbors(Snap), N);
+  AdjRef Ref = toRef(Edges);
+  // Independence.
+  for (auto &[U, Ns] : Ref)
+    if (InMis[U])
+      for (vertex_id V : Ns)
+        ASSERT_FALSE(U != V && InMis[V]) << U << " and " << V;
+  // Maximality: every non-member has a member neighbor.
+  for (size_t V = 0; V < N; ++V) {
+    if (InMis[V])
+      continue;
+    bool HasMemberNeighbor = false;
+    if (auto It = Ref.find(static_cast<vertex_id>(V)); It != Ref.end())
+      for (vertex_id U : It->second)
+        if (U != V && InMis[U])
+          HasMemberNeighbor = true;
+    ASSERT_TRUE(HasMemberNeighbor) << "vertex " << V << " could join";
+  }
+}
+
+/// Sequential reference Brandes from one source.
+std::vector<double> refBc(const AdjRef &Ref, size_t N, vertex_id Src) {
+  std::vector<int64_t> Dist = refBfs(Ref, N, Src);
+  std::vector<double> Sigma(N, 0), Delta(N, 0);
+  Sigma[Src] = 1;
+  std::vector<vertex_id> Order;
+  for (size_t V = 0; V < N; ++V)
+    if (Dist[V] >= 0)
+      Order.push_back(static_cast<vertex_id>(V));
+  std::sort(Order.begin(), Order.end(), [&](vertex_id A, vertex_id B) {
+    return Dist[A] < Dist[B];
+  });
+  for (vertex_id V : Order) {
+    if (V == Src)
+      continue;
+    auto It = Ref.find(V);
+    if (It == Ref.end())
+      continue;
+    for (vertex_id U : It->second)
+      if (Dist[U] == Dist[V] - 1)
+        Sigma[V] += Sigma[U];
+  }
+  for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+    vertex_id V = *It;
+    auto AdjIt = Ref.find(V);
+    if (AdjIt == Ref.end())
+      continue;
+    for (vertex_id U : AdjIt->second)
+      if (Dist[U] == Dist[V] - 1)
+        Delta[U] += Sigma[U] / Sigma[V] * (1.0 + Delta[V]);
+  }
+  return Delta;
+}
+
+TEST(Bc, MatchesReferenceBrandes) {
+  auto Edges = rmat_graph(8, 1500);
+  size_t N = 1 << 8;
+  sym_graph G = sym_graph::from_edges(Edges, N);
+  auto Snap = G.flat_snapshot();
+  AdjRef Ref = toRef(Edges);
+  for (vertex_id Src : {0u, 3u, 200u}) {
+    if (!Ref.count(Src))
+      continue;
+    auto Got = bc_from_source(make_neighbors(Snap), N, Src);
+    auto Expect = refBc(Ref, N, Src);
+    for (size_t V = 0; V < N; ++V)
+      ASSERT_NEAR(Got[V], Expect[V], 1e-9) << "src " << Src << " v " << V;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Baselines.
+//===----------------------------------------------------------------------===
+
+TEST(CsrGraph, MatchesReference) {
+  auto Edges = rmat_graph(10, 5000);
+  size_t N = 1 << 10;
+  csr_graph G = csr_graph::from_edges(Edges, N);
+  EXPECT_EQ(G.num_edges(), Edges.size());
+  AdjRef Ref = toRef(Edges);
+  for (auto &[U, Ns] : Ref) {
+    std::vector<vertex_id> Got;
+    G.foreach_neighbor(U, [&](vertex_id V) { Got.push_back(V); });
+    std::vector<vertex_id> Expect(Ns.begin(), Ns.end());
+    ASSERT_EQ(Got, Expect);
+  }
+  // BFS over CSR through the shared Ligra layer.
+  auto Parents = bfs(G, N, Edges[0].first);
+  EXPECT_EQ(Parents[Edges[0].first], Edges[0].first);
+  EXPECT_EQ(Parents[Edges[0].second], Edges[0].first);
+  // Space: smaller than raw 8-byte edge pairs.
+  EXPECT_LT(G.size_in_bytes(), Edges.size() * 8);
+}
+
+TEST(CTree, BuildForeachContains) {
+  auto Keys = random_keys_sorted(5000, 100000, 41);
+  std::vector<uint32_t> K32(Keys.begin(), Keys.end());
+  ctree_set<16> C = ctree_set<16>::from_sorted(K32);
+  EXPECT_EQ(C.size(), K32.size());
+  std::vector<uint32_t> Got;
+  C.foreach_seq([&](uint32_t K) { Got.push_back(K); });
+  EXPECT_EQ(Got, K32);
+  std::set<uint32_t> Ref(K32.begin(), K32.end());
+  for (uint32_t K = 0; K < 2000; ++K)
+    ASSERT_EQ(C.contains(K), Ref.count(K) == 1) << K;
+}
+
+TEST(CTree, UnionMatchesStdSet) {
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    auto A = random_keys_sorted(2000, 50000, 42 + Trial);
+    auto B = random_keys_sorted(100 + Trial * 211, 50000, 52 + Trial);
+    std::vector<uint32_t> A32(A.begin(), A.end()), B32(B.begin(), B.end());
+    ctree_set<8> C = ctree_set<8>::from_sorted(A32);
+    ctree_set<8> U = C.union_sorted(B32);
+    std::set<uint32_t> Ref(A32.begin(), A32.end());
+    Ref.insert(B32.begin(), B32.end());
+    ASSERT_EQ(U.size(), Ref.size()) << "trial " << Trial;
+    std::vector<uint32_t> Got;
+    U.foreach_seq([&](uint32_t K) { Got.push_back(K); });
+    std::vector<uint32_t> Expect(Ref.begin(), Ref.end());
+    ASSERT_EQ(Got, Expect);
+    // Original unchanged (functional).
+    ASSERT_EQ(C.size(), A32.size());
+  }
+}
+
+TEST(AspenGraph, BuildAndInsertMatchesSymGraph) {
+  auto Edges = rmat_graph(9, 3000);
+  size_t N = 1 << 9;
+  aspen_graph A = aspen_graph::from_edges(Edges, N);
+  sym_graph G = sym_graph::from_edges(Edges, N);
+  EXPECT_EQ(A.num_edges(), G.num_edges());
+  auto Raw = rmat_edges(9, 300, {0.5, 0.1, 0.1, 7});
+  std::vector<edge_pair> Batch;
+  for (auto &[U, V] : Raw)
+    if (U != V) {
+      Batch.push_back({U, V});
+      Batch.push_back({V, U});
+    }
+  aspen_graph A2 = A.insert_edges(Batch);
+  sym_graph G2 = G.insert_edges(Batch);
+  EXPECT_EQ(A2.num_edges(), G2.num_edges());
+  // BFS over the Aspen snapshot agrees with CPAM's on reachability.
+  auto SnapA = A2.flat_snapshot();
+  auto SnapG = G2.flat_snapshot();
+  auto NA = [&](vertex_id U, auto f) {
+    if (U < SnapA.size())
+      SnapA[U].foreach_seq(f);
+  };
+  auto PA = bfs(NA, N, 0);
+  auto PG = bfs(make_neighbors(SnapG), N, 0);
+  for (size_t V = 0; V < N; ++V)
+    ASSERT_EQ(PA[V] == kBfsUnvisited, PG[V] == kBfsUnvisited) << V;
+}
+
+TEST(GraphSpace, OrderingAcrossRepresentations) {
+  auto Edges = rmat_graph(13, 60000);
+  size_t N = 1 << 13;
+  csr_graph Csr = csr_graph::from_edges(Edges, N);
+  sym_graph Diff = sym_graph::from_edges(Edges, N);
+  sym_graph_nodiff NoDiff = sym_graph_nodiff::from_edges(Edges, N);
+  aspen_graph Aspen = aspen_graph::from_edges(Edges, N);
+  sym_graph_ptree PTree = sym_graph_ptree::from_edges(Edges, N);
+  // Fig. 11's ordering: GBBS <= PaC-diff < PaC < Aspen < P-tree.
+  EXPECT_LE(Csr.size_in_bytes(), Diff.size_in_bytes());
+  EXPECT_LT(Diff.size_in_bytes(), NoDiff.size_in_bytes());
+  EXPECT_LT(Diff.size_in_bytes(), Aspen.size_in_bytes());
+  EXPECT_LT(Aspen.size_in_bytes(), PTree.size_in_bytes());
+}
+
+} // namespace
+
+// The paper notes the representation "also supports weights": edge trees
+// become maps from neighbor id to weight (diff-encoded keys, raw weights).
+// This exercises the same two-level composition with weighted values.
+using wedge_tree = pam_map<vertex_id, float, 64, diff_encoder>;
+struct WVertexEntry {
+  using key_t = vertex_id;
+  using val_t = wedge_tree;
+  using entry_t = std::pair<vertex_id, wedge_tree>;
+  using aug_t = size_t;
+  static constexpr bool has_val = true;
+  static const key_t &get_key(const entry_t &E) { return E.first; }
+  static const val_t &get_val(const entry_t &E) { return E.second; }
+  static val_t &get_val(entry_t &E) { return E.second; }
+  static bool comp(key_t A, key_t B) { return A < B; }
+  static aug_t aug_empty() { return 0; }
+  static aug_t aug_from_entry(const entry_t &E) { return E.second.size(); }
+  static aug_t aug_combine(aug_t A, aug_t B) { return A + B; }
+};
+
+TEST(WeightedGraph, EdgeTreesAsWeightMaps) {
+  using wvertex_tree = aug_map<WVertexEntry, 64>;
+
+  auto Edges = rmat_graph(8, 1000);
+  std::map<vertex_id, std::map<vertex_id, float>> Ref;
+  std::vector<typename wvertex_tree::entry_t> Entries;
+  vertex_id Cur = UINT32_MAX;
+  std::vector<std::pair<vertex_id, float>> Ngh;
+  auto Flush = [&] {
+    if (Cur != UINT32_MAX)
+      Entries.push_back({Cur, wedge_tree::from_sorted(std::move(Ngh))});
+    Ngh.clear();
+  };
+  for (auto &[U, V] : Edges) {
+    if (U != Cur) {
+      Flush();
+      Cur = U;
+    }
+    float W = float(hash64(uint64_t(U) << 32 | V) % 1000) / 10.0f;
+    Ngh.push_back({V, W});
+    Ref[U][V] = W;
+  }
+  Flush();
+  wvertex_tree G = wvertex_tree::from_sorted(std::move(Entries));
+  ASSERT_EQ(G.aug_val(), Edges.size());
+  ASSERT_EQ(G.check_invariants(), "");
+  for (auto &[U, Ns] : Ref) {
+    auto E = G.find_entry(U);
+    ASSERT_TRUE(E.has_value());
+    ASSERT_EQ(E->second.size(), Ns.size());
+    for (auto &[V, W] : Ns)
+      ASSERT_EQ(*E->second.find(V), W);
+  }
+  // Weighted batch update: halve one vertex's weights functionally.
+  vertex_id U0 = Ref.begin()->first;
+  auto E0 = *G.find_entry(U0);
+  wedge_tree Halved =
+      E0.second.map_values([](const auto &E) { return E.second / 2; });
+  wvertex_tree G2 = G.insert({U0, Halved});
+  auto Old = G.find_entry(U0), New = G2.find_entry(U0);
+  vertex_id V0 = Ref[U0].begin()->first;
+  ASSERT_EQ(*Old->second.find(V0), Ref[U0][V0]);
+  ASSERT_EQ(*New->second.find(V0), Ref[U0][V0] / 2);
+}

@@ -1,0 +1,178 @@
+//===- test_properties.cpp - Parameterized property sweeps ------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Property-based sweeps over (block size, input size, seed) using
+// parameterized gtest: algebraic identities of the set operations, the
+// Def. 4.1 structural invariants after every operation, and agreement
+// between all representations. Block size is a compile-time parameter, so
+// the sweep dispatches over a fixed set of instantiations.
+//
+//===----------------------------------------------------------------------===//
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+#include "src/api/pam_set.h"
+#include "src/encoding/diff_encoder.h"
+#include "src/encoding/gamma_encoder.h"
+#include "src/parallel/random.h"
+
+using namespace cpam;
+
+namespace {
+
+struct PropertyParam {
+  int BlockSize; // 0, 2, 8, 128
+  size_t Na;
+  size_t Nb;
+  uint64_t Seed;
+};
+
+std::string paramName(const ::testing::TestParamInfo<PropertyParam> &Info) {
+  return "B" + std::to_string(Info.param.BlockSize) + "_na" +
+         std::to_string(Info.param.Na) + "_nb" +
+         std::to_string(Info.param.Nb) + "_s" +
+         std::to_string(Info.param.Seed);
+}
+
+std::vector<uint64_t> keysOf(size_t N, uint64_t Universe, uint64_t Seed) {
+  std::vector<uint64_t> V(N);
+  Rng R(Seed);
+  for (size_t I = 0; I < N; ++I)
+    V[I] = R.ith(I, Universe);
+  return V;
+}
+
+/// The properties, checked for one block-size instantiation.
+template <int B> void checkProperties(const PropertyParam &P) {
+  using S = pam_set<uint64_t, B>;
+  uint64_t Universe = 4 * (P.Na + P.Nb) + 16;
+  auto A = keysOf(P.Na, Universe, P.Seed);
+  auto Bk = keysOf(P.Nb, Universe, P.Seed + 1);
+  S SA(A), SB(Bk);
+  ASSERT_EQ(SA.check_invariants(), "");
+  ASSERT_EQ(SB.check_invariants(), "");
+
+  S U = S::map_union(SA, SB);
+  S I = S::map_intersect(SA, SB);
+  S DA = S::map_difference(SA, SB);
+  S DB = S::map_difference(SB, SA);
+  for (const S *T : {&U, &I, &DA, &DB})
+    ASSERT_EQ(T->check_invariants(), "");
+
+  // Inclusion-exclusion: |A ∪ B| + |A ∩ B| = |A| + |B|.
+  EXPECT_EQ(U.size() + I.size(), SA.size() + SB.size());
+  // Partition: |A \ B| + |A ∩ B| = |A|.
+  EXPECT_EQ(DA.size() + I.size(), SA.size());
+  EXPECT_EQ(DB.size() + I.size(), SB.size());
+  // (A \ B) ∪ (B \ A) ∪ (A ∩ B) = A ∪ B.
+  S Sym = S::map_union(S::map_union(DA, DB), I);
+  EXPECT_EQ(Sym.to_vector(), U.to_vector());
+  // Difference then union restores: (A \ B) ∪ B = A ∪ B.
+  EXPECT_EQ(S::map_union(DA, SB).to_vector(), U.to_vector());
+  // Filter partition: evens + odds = all.
+  S Ev = SA.filter([](uint64_t K) { return K % 2 == 0; });
+  S Od = SA.filter([](uint64_t K) { return K % 2 == 1; });
+  EXPECT_EQ(Ev.size() + Od.size(), SA.size());
+  EXPECT_EQ(S::map_union(Ev, Od).to_vector(), SA.to_vector());
+  // Range glue: [min, k] ∪ (k, max] = all, for a probe key.
+  if (!SA.empty()) {
+    uint64_t K = Universe / 2;
+    S Lo = SA.range(0, K);
+    S Hi = SA.range(K + 1, UINT64_MAX);
+    EXPECT_EQ(Lo.size() + Hi.size(), SA.size());
+    EXPECT_EQ(S::map_union(Lo, Hi).to_vector(), SA.to_vector());
+    // rank/select are inverse.
+    for (size_t Idx : {size_t(0), SA.size() / 2, SA.size() - 1}) {
+      uint64_t Key = SA.select(Idx);
+      EXPECT_EQ(SA.rank(Key), Idx);
+    }
+  }
+  // Reference agreement.
+  std::set<uint64_t> RefA(A.begin(), A.end()), RefB(Bk.begin(), Bk.end());
+  std::set<uint64_t> RefU = RefA;
+  RefU.insert(RefB.begin(), RefB.end());
+  EXPECT_EQ(U.size(), RefU.size());
+  EXPECT_EQ(U.to_vector(), std::vector<uint64_t>(RefU.begin(), RefU.end()));
+}
+
+class SetProperties : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(SetProperties, AlgebraicIdentities) {
+  const PropertyParam &P = GetParam();
+  switch (P.BlockSize) {
+  case 0:
+    checkProperties<0>(P);
+    break;
+  case 2:
+    checkProperties<2>(P);
+    break;
+  case 8:
+    checkProperties<8>(P);
+    break;
+  case 128:
+    checkProperties<128>(P);
+    break;
+  default:
+    FAIL() << "unexpected block size " << P.BlockSize;
+  }
+}
+
+std::vector<PropertyParam> makeParams() {
+  std::vector<PropertyParam> Out;
+  for (int B : {0, 2, 8, 128})
+    for (auto [Na, Nb] : {std::pair<size_t, size_t>{0, 0},
+                          {1, 1},
+                          {100, 7},
+                          {1000, 1000},
+                          {5000, 100}})
+      for (uint64_t Seed : {1ull, 99ull})
+        Out.push_back({B, Na, Nb, Seed});
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SetProperties,
+                         ::testing::ValuesIn(makeParams()), paramName);
+
+//===----------------------------------------------------------------------===
+// Gamma-encoded sets (the Sec. 8 user-defined scheme extension point).
+//===----------------------------------------------------------------------===
+
+class GammaSet : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GammaSet, MatchesRawRepresentation) {
+  size_t N = GetParam();
+  auto Keys = keysOf(N, 8 * N + 16, 7);
+  pam_set<uint64_t, 32, gamma_encoder> G(Keys);
+  pam_set<uint64_t, 32> Raw(Keys);
+  ASSERT_EQ(G.check_invariants(), "");
+  ASSERT_EQ(G.size(), Raw.size());
+  ASSERT_EQ(G.to_vector(), Raw.to_vector());
+  // Point queries and updates behave identically.
+  for (uint64_t K = 0; K < 50; ++K)
+    ASSERT_EQ(G.contains(K), Raw.contains(K));
+  auto G2 = G.insert(123456789);
+  ASSERT_TRUE(G2.contains(123456789));
+  ASSERT_EQ(G2.check_invariants(), "");
+}
+
+TEST_P(GammaSet, DenseKeysBeatByteCodes) {
+  size_t N = std::max<size_t>(GetParam(), 256);
+  // Deltas of 1-2: gamma ~1-3 bits vs >= 1 byte for byte codes.
+  std::vector<uint64_t> Dense(N);
+  for (size_t I = 0; I < N; ++I)
+    Dense[I] = 2 * I;
+  auto G = pam_set<uint64_t, 128, gamma_encoder>::from_sorted(Dense);
+  auto D = pam_set<uint64_t, 128, diff_encoder>::from_sorted(Dense);
+  EXPECT_LT(G.size_in_bytes(), D.size_in_bytes());
+  EXPECT_EQ(G.to_vector(), D.to_vector());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GammaSet,
+                         ::testing::Values(1, 10, 500, 5000, 60000));
+
+} // namespace

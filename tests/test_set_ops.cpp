@@ -1,0 +1,240 @@
+//===- test_set_ops.cpp - union/intersect/difference/multi_insert ----------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+
+#include "src/api/pam_map.h"
+#include "src/api/pam_set.h"
+#include "src/encoding/diff_encoder.h"
+#include "src/parallel/random.h"
+
+using namespace cpam;
+
+namespace {
+
+template <class SetT> class SetOpsTest : public ::testing::Test {};
+
+using SetTypes = ::testing::Types<
+    pam_set<uint64_t, 0>,                 // P-tree baseline
+    pam_set<uint64_t, 2>, pam_set<uint64_t, 4>, pam_set<uint64_t, 16>,
+    pam_set<uint64_t, 128>,               // Paper default
+    pam_set<uint64_t, 32, diff_encoder>>; // Compressed
+TYPED_TEST_SUITE(SetOpsTest, SetTypes);
+
+std::vector<uint64_t> randomKeys(size_t N, uint64_t Universe, uint64_t Seed) {
+  std::vector<uint64_t> V(N);
+  Rng R(Seed);
+  for (size_t I = 0; I < N; ++I)
+    V[I] = R.ith(I, Universe);
+  return V;
+}
+
+int64_t liveObjects() { return alloc_stats::live_object_count(); }
+
+TYPED_TEST(SetOpsTest, UnionMatchesStdSet) {
+  int64_t Before = liveObjects();
+  {
+    for (auto [Na, Nb] : {std::pair<size_t, size_t>{0, 100},
+                          {100, 0},
+                          {1000, 1000},
+                          {5000, 50},
+                          {37, 4211}}) {
+      auto A = randomKeys(Na, 3000, 1);
+      auto B = randomKeys(Nb, 3000, 2);
+      TypeParam SA(A), SB(B);
+      TypeParam U = TypeParam::map_union(SA, SB);
+      ASSERT_EQ(U.check_invariants(), "") << Na << "+" << Nb;
+      std::set<uint64_t> Ref(A.begin(), A.end());
+      Ref.insert(B.begin(), B.end());
+      ASSERT_EQ(U.size(), Ref.size());
+      for (uint64_t K : Ref)
+        ASSERT_TRUE(U.contains(K)) << K;
+      // Inputs unchanged (purely functional).
+      ASSERT_EQ(SA.size(), std::set<uint64_t>(A.begin(), A.end()).size());
+      ASSERT_EQ(SB.size(), std::set<uint64_t>(B.begin(), B.end()).size());
+    }
+  }
+  EXPECT_EQ(liveObjects(), Before) << "set union leaked nodes";
+}
+
+TYPED_TEST(SetOpsTest, IntersectMatchesStdSet) {
+  int64_t Before = liveObjects();
+  {
+    for (auto [Na, Nb] : {std::pair<size_t, size_t>{500, 500},
+                          {2000, 100},
+                          {100, 2000},
+                          {0, 10},
+                          {1000, 1000}}) {
+      auto A = randomKeys(Na, 1500, 3);
+      auto B = randomKeys(Nb, 1500, 4);
+      TypeParam SA(A), SB(B);
+      TypeParam X = TypeParam::map_intersect(SA, SB);
+      ASSERT_EQ(X.check_invariants(), "");
+      std::set<uint64_t> RA(A.begin(), A.end()), RB(B.begin(), B.end()), Ref;
+      for (uint64_t K : RA)
+        if (RB.count(K))
+          Ref.insert(K);
+      ASSERT_EQ(X.size(), Ref.size());
+      for (uint64_t K : Ref)
+        ASSERT_TRUE(X.contains(K));
+    }
+  }
+  EXPECT_EQ(liveObjects(), Before);
+}
+
+TYPED_TEST(SetOpsTest, DifferenceMatchesStdSet) {
+  int64_t Before = liveObjects();
+  {
+    for (auto [Na, Nb] : {std::pair<size_t, size_t>{1000, 1000},
+                          {2000, 10},
+                          {10, 2000}}) {
+      auto A = randomKeys(Na, 1500, 5);
+      auto B = randomKeys(Nb, 1500, 6);
+      TypeParam SA(A), SB(B);
+      TypeParam D = TypeParam::map_difference(SA, SB);
+      ASSERT_EQ(D.check_invariants(), "");
+      std::set<uint64_t> RA(A.begin(), A.end()), RB(B.begin(), B.end());
+      size_t Expect = 0;
+      for (uint64_t K : RA) {
+        if (RB.count(K)) {
+          ASSERT_FALSE(D.contains(K));
+        } else {
+          ASSERT_TRUE(D.contains(K));
+          ++Expect;
+        }
+      }
+      ASSERT_EQ(D.size(), Expect);
+    }
+  }
+  EXPECT_EQ(liveObjects(), Before);
+}
+
+TYPED_TEST(SetOpsTest, UnionIsCommutativeAndAssociative) {
+  auto A = randomKeys(800, 2000, 7);
+  auto B = randomKeys(900, 2000, 8);
+  auto C = randomKeys(700, 2000, 9);
+  TypeParam SA(A), SB(B), SC(C);
+  auto AB_C = TypeParam::map_union(TypeParam::map_union(SA, SB), SC);
+  auto A_BC = TypeParam::map_union(SA, TypeParam::map_union(SB, SC));
+  auto BA = TypeParam::map_union(SB, SA);
+  auto AB = TypeParam::map_union(SA, SB);
+  EXPECT_EQ(AB_C.to_vector(), A_BC.to_vector());
+  EXPECT_EQ(AB.to_vector(), BA.to_vector());
+}
+
+TYPED_TEST(SetOpsTest, SelfOperations) {
+  auto A = randomKeys(1000, 5000, 10);
+  TypeParam SA(A);
+  EXPECT_EQ(TypeParam::map_union(SA, SA).size(), SA.size());
+  EXPECT_EQ(TypeParam::map_intersect(SA, SA).size(), SA.size());
+  EXPECT_EQ(TypeParam::map_difference(SA, SA).size(), 0u);
+}
+
+TYPED_TEST(SetOpsTest, MultiInsertMatchesUnion) {
+  int64_t Before = liveObjects();
+  {
+    auto A = randomKeys(3000, 10000, 11);
+    TypeParam SA(A);
+    for (size_t BatchSize : {1u, 10u, 1000u, 5000u}) {
+      auto B = randomKeys(BatchSize, 10000, 12 + BatchSize);
+      TypeParam ViaMulti = SA.multi_insert(B);
+      TypeParam ViaUnion = TypeParam::map_union(SA, TypeParam(B));
+      ASSERT_EQ(ViaMulti.check_invariants(), "");
+      ASSERT_EQ(ViaMulti.to_vector(), ViaUnion.to_vector());
+    }
+  }
+  EXPECT_EQ(liveObjects(), Before);
+}
+
+TYPED_TEST(SetOpsTest, MultiDeleteMatchesDifference) {
+  auto A = randomKeys(3000, 10000, 13);
+  TypeParam SA(A);
+  for (size_t BatchSize : {1u, 100u, 2500u}) {
+    auto B = randomKeys(BatchSize, 10000, 14 + BatchSize);
+    TypeParam ViaMulti = SA.multi_delete(B);
+    TypeParam ViaDiff = TypeParam::map_difference(SA, TypeParam(B));
+    ASSERT_EQ(ViaMulti.check_invariants(), "");
+    ASSERT_EQ(ViaMulti.to_vector(), ViaDiff.to_vector());
+  }
+}
+
+TYPED_TEST(SetOpsTest, LargeImbalancedUnion) {
+  // Exercises the O(m log(n/m)) path plus base cases.
+  auto A = randomKeys(100000, 1u << 30, 15);
+  auto B = randomKeys(100, 1u << 30, 16);
+  TypeParam SA(A), SB(B);
+  TypeParam U = TypeParam::map_union(SA, SB);
+  ASSERT_EQ(U.check_invariants(), "");
+  std::set<uint64_t> Ref(A.begin(), A.end());
+  Ref.insert(B.begin(), B.end());
+  EXPECT_EQ(U.size(), Ref.size());
+  for (uint64_t K : B)
+    EXPECT_TRUE(U.contains(K));
+}
+
+// Map-specific: value combination on key collisions.
+TEST(MapSetOps, UnionCombinesValues) {
+  using M = pam_map<uint64_t, uint64_t, 16>;
+  std::vector<std::pair<uint64_t, uint64_t>> A, B;
+  for (uint64_t I = 0; I < 100; ++I)
+    A.push_back({I, 1});
+  for (uint64_t I = 50; I < 150; ++I)
+    B.push_back({I, 2});
+  M MA(A), MB(B);
+  // Default: right (second map) wins.
+  M U = M::map_union(MA, MB);
+  EXPECT_EQ(*U.find(10), 1u);
+  EXPECT_EQ(*U.find(70), 2u);
+  EXPECT_EQ(*U.find(120), 2u);
+  // Custom combine: sum.
+  M S = M::map_union(MA, MB, std::plus<uint64_t>());
+  EXPECT_EQ(*S.find(10), 1u);
+  EXPECT_EQ(*S.find(70), 3u);
+  EXPECT_EQ(*S.find(120), 2u);
+  // Intersection keeps combined values too.
+  M X = M::map_intersect(MA, MB, std::plus<uint64_t>());
+  EXPECT_EQ(X.size(), 50u);
+  EXPECT_EQ(*X.find(70), 3u);
+}
+
+TEST(MapSetOps, MultiInsertCombineWithinBatch) {
+  using M = pam_map<uint64_t, uint64_t, 16>;
+  M Empty;
+  std::vector<std::pair<uint64_t, uint64_t>> Batch;
+  for (uint64_t I = 0; I < 30; ++I)
+    Batch.push_back({I % 10, 1});
+  M Out = Empty.multi_insert(Batch, std::plus<uint64_t>());
+  EXPECT_EQ(Out.size(), 10u);
+  for (uint64_t K = 0; K < 10; ++K)
+    EXPECT_EQ(*Out.find(K), 3u);
+  // And combination with pre-existing values.
+  M Out2 = Out.multi_insert(Batch, std::plus<uint64_t>());
+  for (uint64_t K = 0; K < 10; ++K)
+    EXPECT_EQ(*Out2.find(K), 6u);
+}
+
+// Cross-block-size agreement: all representations are views of the same
+// abstract set, so every operation must agree elementwise.
+TEST(CrossRepresentation, AllBlockSizesAgree) {
+  auto A = randomKeys(5000, 40000, 17);
+  auto B = randomKeys(3000, 40000, 18);
+  pam_set<uint64_t, 0> A0(A), B0(B);
+  pam_set<uint64_t, 8> A8(A), B8(B);
+  pam_set<uint64_t, 128> A128(A), B128(B);
+  pam_set<uint64_t, 64, diff_encoder> AD(A), BD(B);
+  auto U0 = decltype(A0)::map_union(A0, B0).to_vector();
+  auto U8 = decltype(A8)::map_union(A8, B8).to_vector();
+  auto U128 = decltype(A128)::map_union(A128, B128).to_vector();
+  auto UD = decltype(AD)::map_union(AD, BD).to_vector();
+  EXPECT_EQ(U0, U8);
+  EXPECT_EQ(U0, U128);
+  EXPECT_EQ(U0, UD);
+}
+
+} // namespace
