@@ -150,7 +150,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     while (true) {
       if (is_flat(T)) {
         const auto *F = static_cast<const typename NL::flat_t *>(T);
-        entry_t Out;
+        entry_t Out{}; // Always assigned (I < size(T)); {} pacifies GCC.
         size_t J = 0;
         NL::encoder::for_each_while(
             NL::payload(F), T->Size, [&](const entry_t &E) {

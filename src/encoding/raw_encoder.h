@@ -45,6 +45,8 @@ template <class Entry> struct raw_encoder {
   }
 
   static void encode(entry_t *A, size_t N, uint8_t *Out) {
+    if (N == 0)
+      return; // Callers may pass null buffers for empty blocks.
     entry_t *Dst = reinterpret_cast<entry_t *>(Out);
     if constexpr (is_trivial) {
       std::memcpy(static_cast<void *>(Dst), A, N * sizeof(entry_t));
@@ -55,6 +57,8 @@ template <class Entry> struct raw_encoder {
   }
 
   static void decode(const uint8_t *In, size_t N, entry_t *Out) {
+    if (N == 0)
+      return;
     const entry_t *Src = reinterpret_cast<const entry_t *>(In);
     if constexpr (is_trivial) {
       std::memcpy(static_cast<void *>(Out), Src, N * sizeof(entry_t));
@@ -65,6 +69,8 @@ template <class Entry> struct raw_encoder {
   }
 
   static void decode_move(uint8_t *In, size_t N, entry_t *Out) {
+    if (N == 0)
+      return;
     entry_t *Src = reinterpret_cast<entry_t *>(In);
     if constexpr (is_trivial) {
       std::memcpy(static_cast<void *>(Out), Src, N * sizeof(entry_t));

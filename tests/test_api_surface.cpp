@@ -84,6 +84,7 @@ TEST(ApiSurface, MoveSemantics) {
   U = U;
   EXPECT_EQ(U.size(), 5u);
 #pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpragmas" // GCC < 13 lacks -Wself-move.
 #pragma GCC diagnostic ignored "-Wself-move"
   U = std::move(U);
 #pragma GCC diagnostic pop

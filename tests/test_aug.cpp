@@ -91,8 +91,9 @@ TYPED_TEST(AugSumTest, AugMaintainedThroughUpdates) {
     if (Old)
       Total -= Old->second;
     M.remove_inplace(K);
-    if (I % 83 == 0)
+    if (I % 83 == 0) {
       ASSERT_EQ(M.aug_val(), Total);
+    }
   }
 }
 

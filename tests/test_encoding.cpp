@@ -10,6 +10,7 @@
 
 #include "src/core/entry.h"
 #include "src/encoding/diff_encoder.h"
+#include "src/encoding/gamma_encoder.h"
 #include "src/encoding/raw_encoder.h"
 #include "src/encoding/varint.h"
 #include "src/parallel/random.h"
@@ -148,6 +149,93 @@ TEST(RawEncoder, TrivialType) {
   roundTrip<raw_encoder<E>, E>(Keys);
   EXPECT_EQ(raw_encoder<E>::encoded_size(Keys.data(), Keys.size()),
             Keys.size() * 8);
+}
+
+//===----------------------------------------------------------------------===
+// Edge-case regressions: empty block, single element, max-width varints.
+// Flat nodes never hold zero entries, but the encoder interface must still
+// tolerate N == 0 with null/empty buffers (std::vector<uint8_t>{}.data()
+// may be null), and the widest possible keys and deltas must round-trip.
+//===----------------------------------------------------------------------===
+
+template <class Enc, class EntryT> void emptyBlockIsWellBehaved() {
+  using entry_t = typename EntryT::entry_t;
+  EXPECT_EQ(Enc::encoded_size(nullptr, 0), 0u);
+  std::vector<entry_t> NoEntries;
+  std::vector<uint8_t> NoBytes;
+  Enc::encode(NoEntries.data(), 0, NoBytes.data());
+  Enc::decode(NoBytes.data(), 0, NoEntries.data());
+  Enc::decode_move(NoBytes.data(), 0, NoEntries.data());
+  size_t Visited = 0;
+  EXPECT_TRUE(Enc::for_each_while(NoBytes.data(), 0, [&](const entry_t &) {
+    ++Visited;
+    return true;
+  }));
+  EXPECT_EQ(Visited, 0u);
+  Enc::destroy(NoBytes.data(), 0);
+}
+
+TEST(EncoderEdgeCases, EmptyBlock) {
+  using SetE = set_entry<uint64_t>;
+  using MapE = map_entry<uint32_t, uint32_t>;
+  emptyBlockIsWellBehaved<raw_encoder<SetE>, SetE>();
+  emptyBlockIsWellBehaved<diff_encoder<SetE>, SetE>();
+  emptyBlockIsWellBehaved<diff_encoder<MapE>, MapE>();
+  emptyBlockIsWellBehaved<diff_val_encoder<MapE>, MapE>();
+  emptyBlockIsWellBehaved<gamma_encoder<SetE>, SetE>();
+}
+
+TEST(EncoderEdgeCases, SingleElement) {
+  using SetE = set_entry<uint64_t>;
+  using MapE = map_entry<uint32_t, uint32_t>;
+  for (uint64_t K : {uint64_t(0), uint64_t(1), uint64_t(127), uint64_t(128),
+                     uint64_t(UINT64_MAX)}) {
+    roundTrip<raw_encoder<SetE>, SetE>({K});
+    roundTrip<diff_encoder<SetE>, SetE>({K});
+    roundTrip<gamma_encoder<SetE>, SetE>({K});
+  }
+  roundTrip<diff_encoder<MapE>, MapE>({{UINT32_MAX, UINT32_MAX}});
+  roundTrip<diff_val_encoder<MapE>, MapE>({{UINT32_MAX, UINT32_MAX}});
+  // A singleton block stores exactly varint(key) for diff and gamma.
+  uint64_t Max = UINT64_MAX;
+  EXPECT_EQ(diff_encoder<SetE>::encoded_size(&Max, 1), varint_size(Max));
+  EXPECT_EQ(gamma_encoder<SetE>::encoded_size(&Max, 1), varint_size(Max));
+}
+
+TEST(EncoderEdgeCases, MaxWidthVarint) {
+  // UINT64_MAX needs the full 10 bytes: nine 0xff continuation bytes and a
+  // final 0x01.
+  uint8_t Buf[10];
+  uint8_t *End = varint_encode(UINT64_MAX, Buf);
+  ASSERT_EQ(End - Buf, 10);
+  for (int I = 0; I < 9; ++I)
+    EXPECT_EQ(Buf[I], 0xff) << "byte " << I;
+  EXPECT_EQ(Buf[9], 0x01);
+  uint64_t Out;
+  const uint8_t *Read = varint_decode(Buf, Out);
+  EXPECT_EQ(Out, UINT64_MAX);
+  EXPECT_EQ(Read, Buf + 10);
+  // One below the 9/10-byte boundary: 2^63 - 1 fits in 9 bytes.
+  EXPECT_EQ(varint_size((uint64_t(1) << 63) - 1), 9u);
+  EXPECT_EQ(varint_size(uint64_t(1) << 63), 10u);
+}
+
+TEST(EncoderEdgeCases, MaxWidthDeltas) {
+  using SetE = set_entry<uint64_t>;
+  // The widest possible delta: {0, UINT64_MAX}. Byte codes spend 10 bytes
+  // on it; gamma spends 127 bits. Both must round-trip exactly.
+  std::vector<uint64_t> Extremes = {0, UINT64_MAX};
+  roundTrip<diff_encoder<SetE>, SetE>(Extremes);
+  roundTrip<gamma_encoder<SetE>, SetE>(Extremes);
+  // Near-maximal first key followed by a delta of exactly 1.
+  roundTrip<diff_encoder<SetE>, SetE>({UINT64_MAX - 1, UINT64_MAX});
+  roundTrip<gamma_encoder<SetE>, SetE>({UINT64_MAX - 1, UINT64_MAX});
+  // High bit set in every delta: keys 2^63, 2^63 + 2^62, ...
+  std::vector<uint64_t> Wide = {uint64_t(1) << 63,
+                                (uint64_t(1) << 63) | (uint64_t(1) << 62),
+                                UINT64_MAX - 2};
+  roundTrip<diff_encoder<SetE>, SetE>(Wide);
+  roundTrip<gamma_encoder<SetE>, SetE>(Wide);
 }
 
 TEST(RawEncoder, NonTrivialType) {

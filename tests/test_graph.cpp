@@ -165,10 +165,13 @@ TEST(Mis, IndependentAndMaximal) {
   auto InMis = mis(make_neighbors(Snap), N);
   AdjRef Ref = toRef(Edges);
   // Independence.
-  for (auto &[U, Ns] : Ref)
-    if (InMis[U])
-      for (vertex_id V : Ns)
+  for (auto &[U, Ns] : Ref) {
+    if (InMis[U]) {
+      for (vertex_id V : Ns) {
         ASSERT_FALSE(U != V && InMis[V]) << U << " and " << V;
+      }
+    }
+  }
   // Maximality: every non-member has a member neighbor.
   for (size_t V = 0; V < N; ++V) {
     if (InMis[V])

@@ -11,14 +11,17 @@
 #include "src/api/pam_map.h"
 #include "src/encoding/diff_encoder.h"
 #include "src/parallel/random.h"
+#include "tests/test_common.h"
 
 using namespace cpam;
 
 namespace {
 
 /// Typed across block sizes, including the P-tree baseline (B = 0) and the
-/// difference-encoded variant.
-template <class MapT> class MapBasicTest : public ::testing::Test {};
+/// difference-encoded variant. Every test is leak-checked: the fixture
+/// snapshots the live node count and fails on unreclaimed nodes.
+template <class MapT>
+class MapBasicTest : public test::TypedLeakCheckTest<MapT> {};
 
 using MapTypes = ::testing::Types<
     pam_map<uint64_t, uint64_t, 0>,   // P-tree (PAM baseline)
@@ -76,13 +79,14 @@ TYPED_TEST(MapBasicTest, InsertMatchesStdMap) {
   {
     TypeParam M;
     std::map<uint64_t, uint64_t> Ref;
-    Rng R(17);
+    Rng R = test::seeded_rng();
     for (int I = 0; I < 3000; ++I) {
       uint64_t K = R.ith(I, 1000);
       M.insert_inplace(K, I);
       Ref[K] = I;
-      if (I % 500 == 0)
+      if (I % 500 == 0) {
         ASSERT_EQ(M.check_invariants(), "") << "after insert " << I;
+      }
     }
     ASSERT_EQ(M.size(), Ref.size());
     ASSERT_EQ(M.check_invariants(), "");
@@ -120,8 +124,9 @@ TYPED_TEST(MapBasicTest, RemoveMatchesStdMap) {
       uint64_t K = R.ith(I, 2200); // Some keys missing on purpose.
       M.remove_inplace(K);
       Ref.erase(K);
-      if (I % 250 == 0)
+      if (I % 250 == 0) {
         ASSERT_EQ(M.check_invariants(), "") << "after remove " << I;
+      }
     }
     ASSERT_EQ(M.size(), Ref.size());
     for (auto &[K, V] : Ref)
@@ -249,7 +254,9 @@ TYPED_TEST(MapBasicTest, LargeBuildParallel) {
   EXPECT_TRUE(M.contains(hash64(12345)));
 }
 
-TEST(MapMemory, SnapshotSharingIsCheap) {
+class MapMemory : public test::LeakCheckTest {};
+
+TEST_F(MapMemory, SnapshotSharingIsCheap) {
   using M128 = pam_map<uint64_t, uint64_t, 128>;
   std::vector<std::pair<uint64_t, uint64_t>> Entries;
   for (uint64_t I = 0; I < 100000; ++I)
@@ -266,7 +273,7 @@ TEST(MapMemory, SnapshotSharingIsCheap) {
   EXPECT_EQ(*C.find(7), 9u);
 }
 
-TEST(MapMemory, PacTreeSmallerThanPTree) {
+TEST_F(MapMemory, PacTreeSmallerThanPTree) {
   std::vector<std::pair<uint64_t, uint64_t>> Entries;
   for (uint64_t I = 0; I < 100000; ++I)
     Entries.push_back({I, I});

@@ -10,12 +10,15 @@
 
 #include "src/api/pam_seq.h"
 #include "src/parallel/random.h"
+#include "tests/test_common.h"
 
 using namespace cpam;
 
 namespace {
 
-template <class SeqT> class SeqTest : public ::testing::Test {};
+/// Leak-checked: the fixture fails any test that does not return every tree
+/// node to the allocator.
+template <class SeqT> class SeqTest : public test::TypedLeakCheckTest<SeqT> {};
 
 using SeqTypes =
     ::testing::Types<pam_seq<uint64_t, 0>, pam_seq<uint64_t, 2>,
@@ -167,7 +170,9 @@ TYPED_TEST(SeqTest, SnapshotSemantics) {
   EXPECT_EQ(A.to_vector(), V) << "append must not disturb sources";
 }
 
-TEST(SeqMemory, BlockedSequenceNearArraySize) {
+class SeqMemory : public test::LeakCheckTest {};
+
+TEST_F(SeqMemory, BlockedSequenceNearArraySize) {
   std::vector<uint64_t> V(200000);
   std::iota(V.begin(), V.end(), 0);
   pam_seq<uint64_t, 128> S(V);

@@ -13,12 +13,15 @@
 #include "src/api/pam_set.h"
 #include "src/encoding/diff_encoder.h"
 #include "src/parallel/random.h"
+#include "tests/test_common.h"
 
 using namespace cpam;
 
 namespace {
 
-template <class SetT> class SetOpsTest : public ::testing::Test {};
+/// Leak-checked: the fixture fails any test that does not return every tree
+/// node to the allocator.
+template <class SetT> class SetOpsTest : public test::TypedLeakCheckTest<SetT> {};
 
 using SetTypes = ::testing::Types<
     pam_set<uint64_t, 0>,                 // P-tree baseline
@@ -179,7 +182,9 @@ TYPED_TEST(SetOpsTest, LargeImbalancedUnion) {
 }
 
 // Map-specific: value combination on key collisions.
-TEST(MapSetOps, UnionCombinesValues) {
+class MapSetOps : public test::LeakCheckTest {};
+
+TEST_F(MapSetOps, UnionCombinesValues) {
   using M = pam_map<uint64_t, uint64_t, 16>;
   std::vector<std::pair<uint64_t, uint64_t>> A, B;
   for (uint64_t I = 0; I < 100; ++I)
@@ -203,7 +208,7 @@ TEST(MapSetOps, UnionCombinesValues) {
   EXPECT_EQ(*X.find(70), 3u);
 }
 
-TEST(MapSetOps, MultiInsertCombineWithinBatch) {
+TEST_F(MapSetOps, MultiInsertCombineWithinBatch) {
   using M = pam_map<uint64_t, uint64_t, 16>;
   M Empty;
   std::vector<std::pair<uint64_t, uint64_t>> Batch;
