@@ -1,0 +1,131 @@
+//===- bench_alloc.cpp - Node-allocator microbenchmarks --------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Isolates the allocation layer the tree operations sit on: LIFO alloc/free
+// of the regular-node size class, burst alloc-then-free of flat-payload
+// sized blocks, cross-thread produce/consume churn (the pattern a parallel
+// `dec` generates), and point-update tree churn at B=0 and B=128. Compare a
+// CPAM_POOL_ALLOC=ON build against an OFF build of the same binary to
+// measure what the pool buys; emit JSON with --json=<path>.
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/api/pam_map.h"
+#include "src/core/allocator.h"
+#include "src/parallel/random.h"
+
+using namespace cpam;
+using namespace cpam::bench;
+
+namespace {
+
+/// LIFO pairs: the instruction-level cost of one alloc+free round trip.
+double lifoAllocFree(size_t Ops, size_t Bytes) {
+  return time_par([&] {
+    for (size_t I = 0; I < Ops; ++I) {
+      void *P = tree_alloc(Bytes);
+      *static_cast<volatile char *>(P) = 1;
+      tree_free(P, Bytes);
+    }
+  });
+}
+
+/// Allocate a burst, then free it all — the temp_buf / flat-node pattern.
+double burstAllocFree(size_t Rounds, size_t Burst, size_t Bytes) {
+  std::vector<void *> Ps(Burst);
+  return time_par([&] {
+    for (size_t R = 0; R < Rounds; ++R) {
+      for (size_t I = 0; I < Burst; ++I)
+        Ps[I] = tree_alloc(Bytes);
+      for (size_t I = 0; I < Burst; ++I)
+        tree_free(Ps[I], Bytes);
+    }
+  });
+}
+
+/// Worker A allocates bursts, worker B frees them: every block crosses
+/// threads, so the pool's batch exchange (not per-block ping-pong) is on
+/// the critical path. The handoff storage is built once outside the timed
+/// region; only the alloc and free loops are measured.
+double crossThreadChurn(size_t Rounds, size_t Burst, size_t Bytes) {
+  std::vector<std::vector<void *>> Handoff(Rounds,
+                                           std::vector<void *>(Burst));
+  return time_par([&] {
+    std::thread Producer([&] {
+      for (size_t R = 0; R < Rounds; ++R)
+        for (size_t I = 0; I < Burst; ++I)
+          Handoff[R][I] = tree_alloc(Bytes);
+    });
+    Producer.join();
+    std::thread Consumer([&] {
+      for (size_t R = 0; R < Rounds; ++R)
+        for (size_t I = 0; I < Burst; ++I)
+          tree_free(Handoff[R][I], Bytes);
+    });
+    Consumer.join();
+  });
+}
+
+/// Functional point-update churn: every insert copies the root-to-leaf
+/// path, every dropped snapshot frees it.
+template <int B> double treeInsertChurn(size_t Ops) {
+  using Map = pam_map<uint64_t, uint64_t, B>;
+  return time_par([&] {
+    Rng R(42);
+    Map M;
+    for (size_t I = 0; I < Ops; ++I)
+      M.insert_inplace(R.next(1u << 20), I);
+  });
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t N = arg_size(argc, argv, "n", 1000000);
+  g_reps = std::max(1, static_cast<int>(arg_size(argc, argv, "reps", 3)));
+  std::string JsonPath = arg_str(argc, argv, "json");
+
+  print_header("allocator microbenchmarks");
+  std::printf("n=%zu reps=%d pool_alloc=%s\n", N, g_reps,
+              pool_enabled() ? "on" : "off");
+  JsonReport Report("bench_alloc", N, g_reps);
+
+  struct Row {
+    const char *Name;
+    size_t Ops;
+    double Seconds;
+  };
+  size_t RegBytes = 64; // The regular_t size class for word-sized entries.
+  size_t FlatBytes = 4096; // A typical B=128 flat payload.
+  // Round counts truncate for small --n; each row reports the ops actually
+  // executed (rounds * burst), never the requested total.
+  size_t BurstSm = std::max<size_t>(1, N / 1024);
+  size_t BurstLg = std::max<size_t>(1, N / 16 / 256);
+  size_t XRounds = std::max<size_t>(1, N / 2 / 1024);
+  Row Rows[] = {
+      {"lifo_alloc_free_64B", N, lifoAllocFree(N, RegBytes)},
+      {"burst_alloc_free_64B", BurstSm * 1024,
+       burstAllocFree(BurstSm, 1024, RegBytes)},
+      {"burst_alloc_free_4KB", BurstLg * 256,
+       burstAllocFree(BurstLg, 256, FlatBytes)},
+      {"cross_thread_64B", XRounds * 1024,
+       crossThreadChurn(XRounds, 1024, RegBytes)},
+      {"tree_insert_churn_B0", N / 4, treeInsertChurn<0>(N / 4)},
+      {"tree_insert_churn_B128", N / 4, treeInsertChurn<128>(N / 4)},
+  };
+  for (const Row &R : Rows) {
+    Report.add(R.Name, -1, R.Ops, R.Seconds);
+    std::printf("%-28s %10zu ops  %9.4fs  %8.2f Mops/s\n", R.Name, R.Ops,
+                R.Seconds, R.Seconds > 0 ? R.Ops / R.Seconds / 1e6 : 0.0);
+  }
+  Report.write(JsonPath);
+  return 0;
+}

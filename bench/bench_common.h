@@ -19,7 +19,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "src/core/allocator.h"
 #include "src/parallel/scheduler.h"
 #include "src/util/timer.h"
 
@@ -67,6 +69,74 @@ inline void print_size_row(const char *Name, size_t Bytes, size_t Baseline) {
               Bytes / (1024.0 * 1024.0),
               Baseline ? static_cast<double>(Bytes) / Baseline : 0.0);
 }
+
+/// Parses --name=string flags (empty string when absent).
+inline std::string arg_str(int argc, char **argv, const char *Name) {
+  std::string Prefix = std::string("--") + Name + "=";
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], Prefix.c_str(), Prefix.size()) == 0)
+      return std::string(argv[I] + Prefix.size());
+  return std::string();
+}
+
+/// Accumulates benchmark rows and writes them as a machine-readable JSON
+/// document (the BENCH_*.json format recorded in the repo: one object with
+/// a config block and a flat result array; throughput in million
+/// operations per second).
+class JsonReport {
+public:
+  JsonReport(const char *Tool, size_t N, int Reps) {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"schema\": \"cpam-perf-v1\",\n"
+                  "  \"tool\": \"%s\",\n"
+                  "  \"config\": {\"threads\": %d, \"pool_alloc\": %s, "
+                  "\"n\": %zu, \"reps\": %d}",
+                  Tool, par::num_workers(), pool_enabled() ? "true" : "false",
+                  N, Reps);
+    Header = Buf;
+  }
+
+  /// Records one result row. \p B < 0 omits the block-size field.
+  void add(const char *Bench, int B, size_t Ops, double Seconds) {
+    char Buf[256];
+    if (B >= 0)
+      std::snprintf(Buf, sizeof(Buf),
+                    "    {\"bench\": \"%s\", \"B\": %d, \"ops\": %zu, "
+                    "\"seconds\": %.6f, \"mops\": %.3f}",
+                    Bench, B, Ops, Seconds,
+                    Seconds > 0 ? Ops / Seconds / 1e6 : 0.0);
+    else
+      std::snprintf(Buf, sizeof(Buf),
+                    "    {\"bench\": \"%s\", \"ops\": %zu, "
+                    "\"seconds\": %.6f, \"mops\": %.3f}",
+                    Bench, Ops, Seconds,
+                    Seconds > 0 ? Ops / Seconds / 1e6 : 0.0);
+    Rows.push_back(Buf);
+  }
+
+  /// Writes the document to \p Path; no-op when Path is empty.
+  void write(const std::string &Path) const {
+    if (Path.empty())
+      return;
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+      return;
+    }
+    std::fprintf(F, "{\n%s,\n  \"results\": [\n", Header.c_str());
+    for (size_t I = 0; I < Rows.size(); ++I)
+      std::fprintf(F, "%s%s\n", Rows[I].c_str(),
+                   I + 1 < Rows.size() ? "," : "");
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+    std::printf("wrote %s\n", Path.c_str());
+  }
+
+private:
+  std::string Header;
+  std::vector<std::string> Rows;
+};
 
 } // namespace bench
 } // namespace cpam

@@ -1,0 +1,148 @@
+//===- perf_smoke.cpp - JSON-emitting performance smoke runner -------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The repo's recorded performance trajectory: a small, fixed workload over
+// the four node-churn-heavy core operations — build from sorted input,
+// union of two equal-size maps, multi_insert of a 10% batch, and point
+// lookups — each at B=0 (the PAM baseline) and B=128 (the paper's default
+// block size). Emits machine-readable JSON with --json=<path>; CI runs this
+// on every push and uploads the file, and before/after snapshots are
+// checked in as BENCH_<PR>.json. Deterministic inputs (fixed seed), median
+// of --reps runs after one warmup.
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <cinttypes>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/api/pam_map.h"
+#include "src/parallel/random.h"
+
+using namespace cpam;
+using namespace cpam::bench;
+
+namespace {
+
+/// Median of \p Reps timed runs, with an untimed prepare step before each
+/// (refilling moved-from inputs must not dilute the measured operation).
+/// One untimed warmup run first.
+template <class Prep, class Body>
+double medianPrepared(int Reps, const Prep &Prepare, const Body &Run) {
+  Prepare();
+  Run();
+  std::vector<double> Ts(static_cast<size_t>(Reps));
+  for (int I = 0; I < Reps; ++I) {
+    Prepare();
+    Timer T;
+    Run();
+    Ts[static_cast<size_t>(I)] = T.elapsed();
+    if (std::getenv("CPAM_TRACE_REPS"))
+      std::printf("      rep %d: %.4fs\n", I, Ts[static_cast<size_t>(I)]);
+  }
+  std::sort(Ts.begin(), Ts.end());
+  return Ts[Ts.size() / 2];
+}
+
+template <int B> void runSuite(size_t N, JsonReport &Report) {
+  using Map = pam_map<uint64_t, uint64_t, B>;
+  using Entry = typename Map::entry_t;
+
+  // Fixed-seed inputs: two interleaved sorted universes so the union has
+  // genuine merge work, plus a random 10% batch.
+  std::vector<Entry> Sorted(N);
+  for (size_t I = 0; I < N; ++I)
+    Sorted[I] = {2 * I, I};
+  std::vector<Entry> SortedOdd(N);
+  for (size_t I = 0; I < N; ++I)
+    SortedOdd[I] = {2 * I + 1, I};
+  Rng R(20260731);
+  std::vector<Entry> Batch(N / 10);
+  for (size_t I = 0; I < Batch.size(); ++I)
+    Batch[I] = {R.next(4 * N), I};
+
+  std::printf("-- B=%d --\n", B);
+
+  // Long-lived operands are built first, on the cleanest heap the process
+  // will ever have, so read benchmarks measure the representation rather
+  // than whatever layout earlier churn left behind.
+  Map Evens = Map::from_sorted(Sorted);
+  Map Odds = Map::from_sorted(SortedOdd);
+
+  // find: allocation-free reads (pool-insensitive by design).
+  size_t Finds = N / 2;
+  uint64_t Sink = 0;
+  double TFind = medianPrepared(
+      g_reps, [] {},
+      [&] {
+        Rng Q(7);
+        uint64_t S = 0;
+        for (size_t I = 0; I < Finds; ++I)
+          if (auto V = Evens.find(2 * Q.next(N)))
+            S += *V;
+        Sink ^= S;
+      });
+  Report.add("find_random", B, Finds, TFind);
+  print_time_row("find_random", TFind, TFind);
+  if (Sink == 0xdeadbeef)
+    std::printf("(sink)\n"); // Defeats dead-code elimination of the finds.
+
+  // As in the paper's tables, timed regions cover the operation itself;
+  // input refill and teardown of the previous result happen in the
+  // untimed prepare step (teardown cost is measured by bench_alloc's
+  // churn rows, which alloc *and* free).
+  Map Out;
+  std::vector<Entry> Scratch;
+
+  // build_sorted: from_array_move node churn, nothing else.
+  double TBuild = medianPrepared(
+      g_reps,
+      [&] {
+        Out = Map();
+        Scratch = Sorted;
+      },
+      [&] { Out = Map::from_sorted(std::move(Scratch)); });
+  Report.add("build_sorted", B, N, TBuild);
+  print_time_row("build_sorted", TBuild, TBuild);
+
+  // union_equal: expose/unfold/fold churn across the whole output.
+  double TUnion = medianPrepared(
+      g_reps, [&] { Out = Map(); },
+      [&] { Out = Map::map_union(Evens, Odds); });
+  Report.add("union_equal", B, 2 * N, TUnion);
+  print_time_row("union_equal", TUnion, TUnion);
+
+  // multi_insert: batch sort + merge paths (includes sort, as in Fig. 15).
+  double TMulti = medianPrepared(
+      g_reps,
+      [&] {
+        Out = Map();
+        Scratch = Batch;
+      },
+      [&] { Out = Evens.multi_insert(std::move(Scratch)); });
+  Report.add("multi_insert", B, Batch.size(), TMulti);
+  print_time_row("multi_insert", TMulti, TMulti);
+  Out = Map();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t N = arg_size(argc, argv, "n", 1000000);
+  g_reps = std::max(1, static_cast<int>(arg_size(argc, argv, "reps", 3)));
+  std::string JsonPath = arg_str(argc, argv, "json");
+
+  print_header("perf smoke: node-churn core ops");
+  std::printf("n=%zu reps=%d pool_alloc=%s\n", N, g_reps,
+              pool_enabled() ? "on" : "off");
+
+  JsonReport Report("perf_smoke", N, g_reps);
+  runSuite<0>(N, Report);
+  runSuite<128>(N, Report);
+  Report.write(JsonPath);
+  return 0;
+}

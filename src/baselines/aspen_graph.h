@@ -36,12 +36,12 @@ public:
     if (Edges.empty())
       return G;
     std::vector<size_t> Starts(Edges.size());
-    size_t NumSrc = par::pack(
-        par::tabulate(Edges.size(), [](size_t I) { return I; }).data(),
+    size_t NumSrc = par::pack_index(
+        Edges.size(),
         [&](size_t I) {
           return I == 0 || Edges[I].first != Edges[I - 1].first;
         },
-        Edges.size(), Starts.data());
+        Starts.data());
     Starts.resize(NumSrc);
     std::vector<typename vertex_tree::entry_t> Entries(NumSrc);
     par::parallel_for(
@@ -91,12 +91,12 @@ public:
     size_t M = par::unique(Batch.data(), Batch.size());
     Batch.resize(M);
     std::vector<size_t> Starts(M);
-    size_t NumSrc = par::pack(
-        par::tabulate(M, [](size_t I) { return I; }).data(),
+    size_t NumSrc = par::pack_index(
+        M,
         [&](size_t I) {
           return I == 0 || Batch[I].first != Batch[I - 1].first;
         },
-        M, Starts.data());
+        Starts.data());
     Starts.resize(NumSrc);
     std::vector<typename vertex_tree::entry_t> Delta(NumSrc);
     par::parallel_for(

@@ -12,6 +12,12 @@
 /// sharded per thread: a single shared atomic would serialize all 24+
 /// workers on two cache lines during tree construction.
 ///
+/// Storage comes from the size-class pool allocator (pool_allocator.h) by
+/// default; build with CPAM_POOL_ALLOC=0 (-DCPAM_POOL_ALLOC=OFF) for direct
+/// `operator new` per node, the mode sanitizer builds use so ASan redzones
+/// every node boundary. Accounting is identical in both modes: the pool is
+/// only a storage cache, never an owner of liveness.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CPAM_CORE_ALLOCATOR_H
@@ -22,7 +28,18 @@
 #include <cstdint>
 #include <new>
 
+#ifndef CPAM_POOL_ALLOC
+#define CPAM_POOL_ALLOC 1
+#endif
+
+#if CPAM_POOL_ALLOC
+#include "src/core/pool_allocator.h"
+#endif
+
 namespace cpam {
+
+/// True when node storage is served by the pooled allocator.
+constexpr bool pool_enabled() { return CPAM_POOL_ALLOC != 0; }
 
 /// Sharded allocation statistics for tree nodes.
 struct alloc_stats {
@@ -64,7 +81,11 @@ inline void *tree_alloc(size_t Bytes) {
   alloc_stats::Shard &S = alloc_stats::my_shard();
   S.Objects.fetch_add(1, std::memory_order_relaxed);
   S.Bytes.fetch_add(static_cast<int64_t>(Bytes), std::memory_order_relaxed);
+#if CPAM_POOL_ALLOC
+  return pool_allocator::allocate(Bytes);
+#else
   return ::operator new(Bytes, std::align_val_t(16));
+#endif
 }
 
 /// Frees node storage previously obtained from tree_alloc.
@@ -72,7 +93,11 @@ inline void tree_free(void *P, size_t Bytes) {
   alloc_stats::Shard &S = alloc_stats::my_shard();
   S.Objects.fetch_sub(1, std::memory_order_relaxed);
   S.Bytes.fetch_sub(static_cast<int64_t>(Bytes), std::memory_order_relaxed);
+#if CPAM_POOL_ALLOC
+  pool_allocator::deallocate(P, Bytes);
+#else
   ::operator delete(P, std::align_val_t(16));
+#endif
 }
 
 } // namespace cpam

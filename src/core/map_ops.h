@@ -711,12 +711,12 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return 0;
     // Find runs of equal keys in parallel, combine each run left-to-right.
     std::vector<size_t> Starts(N);
-    size_t K = par::pack(
-        par::tabulate(N, [](size_t I) { return I; }).data(),
+    size_t K = par::pack_index(
+        N,
         [&](size_t I) {
           return I == 0 || key_less(entry_key(A[I - 1]), entry_key(A[I]));
         },
-        N, Starts.data());
+        Starts.data());
     std::vector<entry_t> Out(K);
     par::parallel_for(0, K, [&](size_t R) {
       size_t Lo = Starts[R], Hi = R + 1 < K ? Starts[R + 1] : N;

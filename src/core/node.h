@@ -112,6 +112,7 @@ struct node_layer {
   static size_t weight(const node_t *T) { return size(T) + 1; }
 
   static const key_t &get_key(const node_t *T) {
+    assert(is_regular(T) && "expected a regular node");
     return Entry::get_key(static_cast<const regular_t *>(T)->E);
   }
 
@@ -285,16 +286,17 @@ struct node_layer {
     if (ref_count(T) == 1) {
       ::new (static_cast<void *>(Out + Ls)) entry_t(std::move(R->E));
       free_regular_shell(R);
-      flatten(L, Out);
-      flatten(Rt, Out + Ls + 1);
     } else {
       ::new (static_cast<void *>(Out + Ls)) entry_t(R->E);
       inc(L);
       inc(Rt);
       dec(T);
-      flatten(L, Out);
-      flatten(Rt, Out + Ls + 1);
     }
+    // The two halves write disjoint output ranges, so large subtrees fork
+    // (this is what keeps oversized flatten-and-merge base cases — e.g. the
+    // ablation study's large-kappa configurations — from serializing).
+    par::par_do_if(N >= kParallelGc, [&] { flatten(L, Out); },
+                   [&] { flatten(Rt, Out + Ls + 1); });
     return N;
   }
 
@@ -305,8 +307,10 @@ struct node_layer {
     if (N == 0)
       return nullptr;
     size_t Mid = N / 2;
-    node_t *L = build_expanded(A, Mid);
-    node_t *R = build_expanded(A + Mid + 1, N - Mid - 1);
+    node_t *L = nullptr, *R = nullptr;
+    par::par_do_if(
+        N >= kParallelGc, [&] { L = build_expanded(A, Mid); },
+        [&] { R = build_expanded(A + Mid + 1, N - Mid - 1); });
     return make_regular(L, std::move(A[Mid]), R);
   }
 
@@ -347,7 +351,11 @@ struct node_layer {
     if (T->Kind == FlatKind)
       return 1;
     const regular_t *R = static_cast<const regular_t *>(T);
-    return 1 + node_count(R->Left) + node_count(R->Right);
+    size_t CL = 0, CR = 0;
+    par::par_do_if(T->Size >= kParallelGc,
+                   [&] { CL = node_count(R->Left); },
+                   [&] { CR = node_count(R->Right); });
+    return 1 + CL + CR;
   }
 };
 

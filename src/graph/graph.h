@@ -77,12 +77,12 @@ public:
       return G;
     // Find per-source ranges.
     std::vector<size_t> Starts(Edges.size());
-    size_t NumSrc = par::pack(
-        par::tabulate(Edges.size(), [](size_t I) { return I; }).data(),
+    size_t NumSrc = par::pack_index(
+        Edges.size(),
         [&](size_t I) {
           return I == 0 || Edges[I].first != Edges[I - 1].first;
         },
-        Edges.size(), Starts.data());
+        Starts.data());
     Starts.resize(NumSrc);
     std::vector<vertex_entry_t> Entries(NumSrc);
     par::parallel_for(
@@ -173,12 +173,12 @@ private:
     size_t M = par::unique(Batch.data(), Batch.size());
     Batch.resize(M);
     std::vector<size_t> Starts(M);
-    size_t NumSrc = par::pack(
-        par::tabulate(M, [](size_t I) { return I; }).data(),
+    size_t NumSrc = par::pack_index(
+        M,
         [&](size_t I) {
           return I == 0 || Batch[I].first != Batch[I - 1].first;
         },
-        M, Starts.data());
+        Starts.data());
     Starts.resize(NumSrc);
     std::vector<vertex_entry_t> Delta(NumSrc);
     par::parallel_for(

@@ -136,17 +136,19 @@ T scan_exclusive(const T *A, size_t N, T *Out, T Identity = T()) {
   return Total;
 }
 
-/// Copies the elements of A[0..N) whose flag is set into Out (compacted).
-/// Returns the number of elements written.
-template <class T, class Flags>
-size_t pack(const T *A, const Flags &Keep, size_t N, T *Out) {
+namespace detail {
+/// Blocked compaction scaffold shared by pack and pack_index: count kept
+/// elements per block, prefix-sum the block offsets, then scatter.
+/// EmitAt(K, I) writes the value for kept index I to output slot K.
+template <class Flags, class Emit>
+size_t pack_blocks(size_t N, const Flags &Keep, const Emit &EmitAt) {
   if (N == 0)
     return 0;
   if (N <= kSeqThreshold) {
     size_t K = 0;
     for (size_t I = 0; I < N; ++I)
       if (Keep(I))
-        Out[K++] = A[I];
+        EmitAt(K++, I);
     return K;
   }
   size_t NumBlocks = (N + kSeqThreshold - 1) / kSeqThreshold;
@@ -174,10 +176,28 @@ size_t pack(const T *A, const Flags &Keep, size_t N, T *Out) {
         size_t K = Counts[B];
         for (size_t I = Lo; I < Hi; ++I)
           if (Keep(I))
-            Out[K++] = A[I];
+            EmitAt(K++, I);
       },
       1);
   return Total;
+}
+} // namespace detail
+
+/// Copies the elements of A[0..N) whose flag is set into Out (compacted).
+/// Returns the number of elements written.
+template <class T, class Flags>
+size_t pack(const T *A, const Flags &Keep, size_t N, T *Out) {
+  return detail::pack_blocks(N, Keep,
+                             [&](size_t K, size_t I) { Out[K] = A[I]; });
+}
+
+/// Writes the indices I in [0, N) with Keep(I) set into Out (compacted);
+/// returns the number written. Equivalent to pack over the identity array
+/// without materializing it.
+template <class Flags>
+size_t pack_index(size_t N, const Flags &Keep, size_t *Out) {
+  return detail::pack_blocks(N, Keep,
+                             [&](size_t K, size_t I) { Out[K] = I; });
 }
 
 /// filter: pack with a predicate over element values.

@@ -42,6 +42,18 @@ Scheduler &Scheduler::get() {
 
 int Scheduler::workerId() { return ThisWorkerId; }
 
+int Scheduler::threadSlot() {
+  // Not cached across calls so a thread that later joins the pool (the main
+  // thread becomes worker 0 when it first constructs the scheduler) starts
+  // reporting its worker id.
+  if (ThisWorkerId >= 0)
+    return ThisWorkerId;
+  static std::atomic<int> NextForeign{0};
+  thread_local int ForeignSlot =
+      kForeignSlotBase + NextForeign.fetch_add(1, std::memory_order_relaxed);
+  return ForeignSlot;
+}
+
 Scheduler::Scheduler()
     : NumWorkers(chooseNumWorkers()), Deques(NumWorkers) {
   // The constructing thread becomes worker 0 so that top-level calls from

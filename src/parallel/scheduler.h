@@ -60,6 +60,15 @@ public:
   /// Returns the calling thread's worker id, or -1 for non-pool threads.
   static int workerId();
 
+  /// Returns a small dense slot id for *any* thread: pool workers report
+  /// their worker id; foreign threads (user-spawned std::threads, test
+  /// harness threads) get stable ids handed out above kForeignSlotBase.
+  /// Consumers (e.g. the pooled node allocator's stripe selection) only
+  /// need a cheap, stable, well-distributed integer — this never constructs
+  /// the thread pool, so it is safe to call from static initialization.
+  static int threadSlot();
+  static constexpr int kForeignSlotBase = 1024;
+
   /// When true, parDo runs both branches inline on the calling thread.
   /// Used by benchmarks to measure honest single-thread (T1) times.
   static std::atomic<bool> &sequentialMode() {
@@ -125,6 +134,10 @@ inline int num_workers() { return Scheduler::get().numWorkers(); }
 
 /// Id of the calling worker in [0, num_workers()), or -1 off-pool.
 inline int worker_id() { return Scheduler::workerId(); }
+
+/// Stable dense slot id for any thread (worker id for pool workers). Cheap:
+/// does not construct the scheduler.
+inline int thread_slot() { return Scheduler::threadSlot(); }
 
 /// Forces all fork-join constructs to run sequentially (for T1 timing).
 inline void set_sequential(bool Seq) {
