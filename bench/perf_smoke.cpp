@@ -8,10 +8,12 @@
 // the four node-churn-heavy core operations — build from sorted input,
 // union of two equal-size maps, multi_insert of a 10% batch, and point
 // lookups — each at B=0 (the PAM baseline) and B=128 (the paper's default
-// block size). Emits machine-readable JSON with --json=<path>; CI runs this
-// on every push and uploads the file, and before/after snapshots are
-// checked in as BENCH_<PR>.json. Deterministic inputs (fixed seed), median
-// of --reps runs after one warmup.
+// block size), plus flat-by-flat union/intersect/difference over leaf-sized
+// operands with the streaming cursor fast path ON (flat_*_fast rows) vs the
+// temp_buf array path (flat_*_buf rows). Emits machine-readable JSON with
+// --json=<path>; CI runs this on every push and uploads the file, and
+// before/after snapshots are checked in as BENCH_<PR>.json. Deterministic
+// inputs (fixed seed), median of --reps runs after one warmup.
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +23,8 @@
 
 #include "bench/bench_common.h"
 #include "src/api/pam_map.h"
+#include "src/api/pam_set.h"
+#include "src/encoding/diff_encoder.h"
 #include "src/parallel/random.h"
 
 using namespace cpam;
@@ -129,6 +133,71 @@ template <int B> void runSuite(size_t N, JsonReport &Report) {
   Out = Map();
 }
 
+/// Flat-by-flat set operations: many independent leaf-sized operand pairs,
+/// measured with the streaming cursor fast path on (flat_*_fast) and with
+/// the temp_buf array base case (flat_*_buf). At B=0 there are no flat
+/// nodes, so both rows measure the same expose-path control. Operand keys
+/// interleave with 50% overlap so union, intersect and difference all have
+/// real merge work and combine traffic.
+template <int B, template <class> class Enc = cpam::raw_encoder>
+void runFlatOps(size_t NPairs, JsonReport &Report, const char *Tag = "") {
+  using Set = pam_set<uint64_t, B, Enc>;
+  constexpr size_t kLeaf = B > 0 ? 2 * B : 256; // Entries per operand.
+
+  std::printf("-- flat ops B=%d%s (pairs=%zu, %zu entries/operand) --\n", B,
+              Tag, NPairs, kLeaf);
+
+  // Each pair lives in its own key window; within a window the sides share
+  // every other key.
+  std::vector<Set> As(NPairs), Bs(NPairs);
+  for (size_t P = 0; P < NPairs; ++P) {
+    uint64_t Base = P * 8 * kLeaf;
+    std::vector<uint64_t> KA(kLeaf), KB(kLeaf);
+    for (size_t I = 0; I < kLeaf; ++I) {
+      KA[I] = Base + 2 * I;                       // Evens.
+      KB[I] = Base + 2 * I + (I % 2 ? 0 : 1);     // Half shared, half odd.
+    }
+    As[P] = Set::from_sorted(KA);
+    std::sort(KB.begin(), KB.end());
+    Bs[P] = Set(KB);
+  }
+
+  bool Saved = Set::ops::flat_fastpath();
+  size_t Ops = NPairs * 2 * kLeaf; // Entries touched per run.
+  char Name[64];
+  std::vector<Set> Outs(NPairs);
+  for (const char *Kind : {"union", "intersect", "difference"}) {
+    double Times[2];
+    for (bool Fast : {false, true}) {
+      Set::ops::flat_fastpath() = Fast;
+      uint64_t Sink = 0;
+      // Result teardown happens in the untimed prepare step, matching the
+      // runSuite discipline (the timed region covers the operation only).
+      double T = medianPrepared(
+          g_reps, [&] { std::fill(Outs.begin(), Outs.end(), Set()); },
+          [&] {
+            for (size_t P = 0; P < NPairs; ++P) {
+              Outs[P] = Kind[0] == 'u' ? Set::map_union(As[P], Bs[P])
+                        : Kind[0] == 'i'
+                            ? Set::map_intersect(As[P], Bs[P])
+                            : Set::map_difference(As[P], Bs[P]);
+              Sink ^= Outs[P].size();
+            }
+          });
+      if (Sink == 0xdeadbeef)
+        std::printf("(sink)\n");
+      std::snprintf(Name, sizeof(Name), "flat_%s%s_%s", Kind, Tag,
+                    Fast ? "fast" : "buf");
+      Report.add(Name, B, Ops, T);
+      print_time_row(Name, T, T);
+      Times[Fast] = T;
+    }
+    std::printf("   %s%s: fast path %.2fx vs temp_buf\n", Kind, Tag,
+                Times[1] > 0 ? Times[0] / Times[1] : 0.0);
+  }
+  Set::ops::flat_fastpath() = Saved;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -143,6 +212,11 @@ int main(int argc, char **argv) {
   JsonReport Report("perf_smoke", N, g_reps);
   runSuite<0>(N, Report);
   runSuite<128>(N, Report);
+  // Flat-by-flat base cases: ~N total entries per side across all pairs.
+  size_t Pairs = std::max<size_t>(1, N / 512);
+  runFlatOps<0>(Pairs, Report);
+  runFlatOps<128>(Pairs, Report);
+  runFlatOps<128, diff_encoder>(Pairs, Report, "_diff");
   Report.write(JsonPath);
   return 0;
 }

@@ -23,6 +23,14 @@
 
 #include "src/core/node.h"
 
+/// Build-time default for the flat-leaf streaming fast paths (see
+/// tree_ops::flat_fastpath). The CMake option CPAM_FLAT_FASTPATH sets it;
+/// both code paths are always compiled so tests and benchmarks can A/B them
+/// at runtime.
+#ifndef CPAM_FLAT_FASTPATH
+#define CPAM_FLAT_FASTPATH 1
+#endif
+
 namespace cpam {
 
 template <class Entry, template <class> class EncoderT, int BlockSizeB>
@@ -55,6 +63,16 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
   /// small-batch updates stay sequential (fork/steal latency dominates
   /// below this size on mutex-deque schedulers).
   static constexpr size_t kParGran = 8192;
+
+  /// Whether set-operation and splice base cases over flat blocks merge
+  /// cursor-to-cursor (leaf_reader -> leaf_writer), skipping the temp_buf
+  /// flatten/re-encode round trip. Defaults to the CPAM_FLAT_FASTPATH build
+  /// gate; mutable (single-threaded setup code only) so the differential
+  /// suite and the A/B benchmarks can exercise both paths in one binary.
+  static bool &flat_fastpath() {
+    static bool On = CPAM_FLAT_FASTPATH != 0;
+    return On;
+  }
 
   /// True if a node with child weights \p WL, \p WR is weight-balanced.
   static bool balanced(size_t WL, size_t WR) {
@@ -276,6 +294,149 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     par::par_do_if(
         T->Size >= kParGran, [&] { to_array(R->Left, Out); },
         [&] { to_array(R->Right, Out + Ls + 1); });
+  }
+
+  //===--------------------------------------------------------------------===
+  // Streaming leaf cursors (Sec. 8 base cases without materialization).
+  //===--------------------------------------------------------------------===
+
+  /// Streaming reader over a flat node, consuming one reference to it.
+  /// Uniquely owned blocks are cannibalized: entries are moved out through
+  /// the encoder's consuming read cursor and only the shell bytes are freed.
+  /// Shared blocks are read by copy and dec'd. Abandoning the reader
+  /// mid-block releases everything (the unconsumed tail included).
+  class leaf_reader {
+  public:
+    explicit leaf_reader(node_t *T)
+        : F(NL::as_flat(T)), Unique(NL::ref_count(T) == 1),
+          C(NL::payload(F), T->Size, Unique) {}
+    leaf_reader(const leaf_reader &) = delete;
+    leaf_reader &operator=(const leaf_reader &) = delete;
+    ~leaf_reader() {
+      // Destroy any unconsumed entries before the shell bytes go away.
+      C.release();
+      if (Unique)
+        NL::free_flat_shell(F);
+      else
+        NL::dec(F);
+    }
+
+    bool done() const { return C.done(); }
+    const entry_t &peek() const { return C.peek(); }
+    const key_t &key() const { return Entry::get_key(C.peek()); }
+    entry_t take() { return C.take(); }
+    void skip() { C.skip(); }
+
+  private:
+    typename NL::flat_t *F;
+    bool Unique;
+    typename NL::encoder::read_cursor C;
+  };
+
+  /// Streaming writer assembling a result tree from entries pushed in order
+  /// (at most \p MaxN of them). Three representations, picked up front:
+  ///
+  ///  - Entry-staging encodings (raw): entries stream into an array that is
+  ///    already the encoded form; finish() builds straight from it.
+  ///  - Byte-coded encodings with MaxN <= 2B (result guaranteed to fit one
+  ///    leaf): entries stream through the encoder's write_cursor, so
+  ///    finish() is one exactly-sized allocation plus a memcpy — no
+  ///    encoded_size or encode pass, no entry materialization. Results that
+  ///    come up shorter than B decode back out of the (small) stream.
+  ///  - Otherwise (possible multi-leaf result, or augmented trees, whose
+  ///    aggregates need the entries): entries stage into a plain array and
+  ///    finish() is from_array_move, which folds [B,2B] chunks into legal
+  ///    flat leaves and keeps undersized/oversized results invariant-clean.
+  ///
+  /// Abandonment leaks nothing in any mode.
+  class leaf_writer {
+  public:
+    using WC = typename NL::encoder::write_cursor;
+    /// Byte-streaming pays off only when the result cannot overflow one
+    /// leaf; past that the stream would be decoded and re-encoded anyway.
+    static constexpr bool kCanStream =
+        !WC::stages_entries && kBlocked && !NL::is_aug;
+
+    explicit leaf_writer(size_t MaxN) {
+      bool Cursor = WC::stages_entries || (kCanStream && MaxN <= 2 * kB);
+      BufBytes = Cursor ? WC::max_bytes(MaxN) : MaxN * sizeof(entry_t);
+      Buf = static_cast<uint8_t *>(tree_alloc(BufBytes));
+      if (Cursor)
+        C.emplace(Buf, MaxN);
+    }
+    leaf_writer(const leaf_writer &) = delete;
+    leaf_writer &operator=(const leaf_writer &) = delete;
+    ~leaf_writer() {
+      if (C) {
+        // Staged entries live inside Buf; drop them before freeing it.
+        C->release();
+      } else if constexpr (!std::is_trivially_destructible_v<entry_t>) {
+        for (size_t I = 0; I < N; ++I)
+          stage()[I].~entry_t();
+      }
+      tree_free(Buf, BufBytes);
+    }
+
+    void push(entry_t E) {
+      if (C) {
+        C->push(std::move(E));
+      } else {
+        assert((N + 1) * sizeof(entry_t) <= BufBytes && "leaf_writer overflow");
+        ::new (static_cast<void *>(stage() + N)) entry_t(std::move(E));
+        ++N;
+      }
+    }
+    size_t count() const { return C ? C->count() : N; }
+
+    /// Builds the result tree (nullptr when nothing was pushed).
+    node_t *finish() {
+      if (!C) {
+        // Possible multi-leaf (or augmented) result: build from the staged
+        // entries; from_array_move folds [B,2B] chunks into flat leaves and
+        // keeps undersized/oversized results invariant-clean.
+        return N ? from_array_move(stage(), N) : nullptr;
+      }
+      size_t Nc = C->count();
+      if (Nc == 0)
+        return nullptr;
+      if constexpr (WC::stages_entries) {
+        // The staging area is already an entry array: build straight from
+        // it.
+        return from_array_move(C->staged(), Nc);
+      } else {
+        if (Nc >= kB && Nc <= 2 * kB) {
+          // Single-leaf result: adopt the streamed bytes wholesale.
+          typename NL::flat_t *T = NL::alloc_flat(Nc, C->bytes());
+          C->finish(NL::payload(T));
+          return T;
+        }
+        // Result came up shorter than a legal leaf: rebuild as a (small)
+        // regular tree from the decoded stream.
+        temp_buf Out(Nc);
+        C->drain(Out.data());
+        Out.set_count(Nc);
+        return from_array_move(Out.data(), Nc);
+      }
+    }
+
+  private:
+    entry_t *stage() { return reinterpret_cast<entry_t *>(Buf); }
+
+    size_t BufBytes = 0;
+    uint8_t *Buf = nullptr;
+    std::optional<WC> C;
+    size_t N = 0;
+  };
+
+  /// True when the cursor merge beats the array base case for a result of
+  /// at most \p MaxOut entries: always for entry-staging encodings (the
+  /// staging area doubles as the output), and for byte-coded encodings only
+  /// while the result is guaranteed to fit a single streamed leaf — past
+  /// that the stream would be decoded and re-encoded, which measures slower
+  /// than the array path it replaces.
+  static bool flat_merge_wins(size_t MaxOut) {
+    return NL::encoder::write_cursor::stages_entries ||
+           (leaf_writer::kCanStream && MaxOut <= 2 * kB);
   }
 
   //===--------------------------------------------------------------------===

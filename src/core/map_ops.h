@@ -9,9 +9,12 @@
 /// and deletion, the three set operations (union / intersect / difference),
 /// multi_insert / multi_delete, filter, map_reduce and order statistics.
 /// Each algorithm is written against expose/join/split only — plus the
-/// optimized flat-leaf base cases of Sec. 8, which merge decoded blocks in
-/// arrays whenever a subproblem fits in the base-case granularity kappa
-/// (default 8B; configurable for the ablation study).
+/// optimized base cases of Sec. 8, taken whenever a subproblem fits in the
+/// base-case granularity kappa (default 8B; configurable for the ablation
+/// study). Base cases whose operands are both flat blocks merge encoded
+/// block to encoded block through streaming cursors (tree_ops::leaf_reader
+/// and leaf_writer) with no intermediate arrays; other shapes flatten into
+/// arrays and merge, as does everything when flat_fastpath() is off.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +47,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
   using split_t = typename TO::split_t;
   using TO::dec;
   using TO::expose;
+  using TO::flat_fastpath;
   using TO::flatten;
   using TO::from_array_move;
   using TO::inc;
@@ -57,6 +61,8 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
   using TO::node_join;
   using TO::size;
   using TO::split;
+  using leaf_reader = typename TO::leaf_reader;
+  using leaf_writer = typename TO::leaf_writer;
 
   /// Base-case granularity kappa of Sec. 8: subproblems whose total size is
   /// at most this are solved by flattening into arrays and merging. The
@@ -304,11 +310,76 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
   }
 
   //===--------------------------------------------------------------------===
-  // Set operations (Fig. 10) with Sec. 8 array base cases.
+  // Set operations (Fig. 10) with Sec. 8 base cases. Two flat operands
+  // merge cursor-to-cursor straight into a new flat node (leaf_reader ->
+  // leaf_writer, no temp_buf round trip); every other base-case shape (and
+  // every base case when flat_fastpath() is off) flattens into arrays.
   //===--------------------------------------------------------------------===
+
+  /// Merges two encoded blocks directly: each entry is decoded once on its
+  /// way into the output stream, and uniquely owned inputs are moved out,
+  /// never copied. Duplicate keys invoke \p Op exactly once.
+  template <class CombineOp>
+  static node_t *union_flat(node_t *T1, node_t *T2, const CombineOp &Op) {
+    leaf_writer W(size(T1) + size(T2));
+    leaf_reader A(T1), B(T2);
+    while (!A.done() && !B.done()) {
+      if (key_less(A.key(), B.key())) {
+        W.push(A.take());
+      } else if (key_less(B.key(), A.key())) {
+        W.push(B.take());
+      } else {
+        W.push(combine_entries(A.take(), B.peek(), Op));
+        B.skip();
+      }
+    }
+    while (!A.done())
+      W.push(A.take());
+    while (!B.done())
+      W.push(B.take());
+    return W.finish();
+  }
+
+  template <class CombineOp>
+  static node_t *intersect_flat(node_t *T1, node_t *T2, const CombineOp &Op) {
+    leaf_writer W(std::min(size(T1), size(T2)));
+    leaf_reader A(T1), B(T2);
+    while (!A.done() && !B.done()) {
+      if (key_less(A.key(), B.key())) {
+        A.skip();
+      } else if (key_less(B.key(), A.key())) {
+        B.skip();
+      } else {
+        W.push(combine_entries(A.take(), B.peek(), Op));
+        B.skip();
+      }
+    }
+    return W.finish();
+  }
+
+  static node_t *difference_flat(node_t *T1, node_t *T2) {
+    leaf_writer W(size(T1));
+    leaf_reader A(T1), B(T2);
+    while (!A.done() && !B.done()) {
+      if (key_less(A.key(), B.key())) {
+        W.push(A.take());
+      } else if (key_less(B.key(), A.key())) {
+        B.skip();
+      } else {
+        A.skip();
+        B.skip();
+      }
+    }
+    while (!A.done())
+      W.push(A.take());
+    return W.finish();
+  }
 
   template <class CombineOp>
   static node_t *union_base(node_t *T1, node_t *T2, const CombineOp &Op) {
+    if (flat_fastpath() && is_flat(T1) && is_flat(T2) &&
+        TO::flat_merge_wins(size(T1) + size(T2)))
+      return union_flat(T1, T2, Op);
     size_t N1 = size(T1), N2 = size(T2);
     temp_buf B1(N1), B2(N2), Out(N1 + N2);
     flatten(T1, B1.data());
@@ -363,6 +434,10 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
 
   template <class CombineOp>
   static node_t *intersect_base(node_t *T1, node_t *T2, const CombineOp &Op) {
+    // A flat block holds at most 2B entries, so min(|T1|,|T2|) always fits
+    // one leaf and the cursor merge always wins here.
+    if (flat_fastpath() && is_flat(T1) && is_flat(T2))
+      return intersect_flat(T1, T2, Op);
     size_t N1 = size(T1), N2 = size(T2);
     temp_buf B1(N1), B2(N2), Out(std::min(N1, N2));
     flatten(T1, B1.data());
@@ -416,6 +491,9 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
   }
 
   static node_t *difference_base(node_t *T1, node_t *T2) {
+    // |T1 \ T2| <= |T1| <= 2B: always a single-leaf-sized result.
+    if (flat_fastpath() && is_flat(T1) && is_flat(T2))
+      return difference_flat(T1, T2);
     size_t N1 = size(T1), N2 = size(T2);
     temp_buf B1(N1), B2(N2), Out(N1);
     flatten(T1, B1.data());
@@ -470,6 +548,29 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     if (N == 0)
       return T;
     if (size(T) + N <= kappa() || is_flat(T)) {
+      if (flat_fastpath() && is_flat(T) &&
+          TO::flat_merge_wins(size(T) + N)) {
+        // Leaf splice: stream the block against the sorted batch. Oversized
+        // results fold into multiple legal leaves in leaf_writer::finish.
+        leaf_writer W(size(T) + N);
+        leaf_reader C(T);
+        size_t J = 0;
+        while (!C.done() && J < N) {
+          if (key_less(C.key(), entry_key(A[J]))) {
+            W.push(C.take());
+          } else if (key_less(entry_key(A[J]), C.key())) {
+            W.push(std::move(A[J++]));
+          } else {
+            W.push(combine_entries(C.take(), A[J], Op));
+            ++J;
+          }
+        }
+        while (!C.done())
+          W.push(C.take());
+        for (; J < N; ++J)
+          W.push(std::move(A[J]));
+        return W.finish();
+      }
       // Flatten + merge base case (also folds oversized leaves correctly).
       size_t Nt = size(T);
       temp_buf Bt(Nt), Out(Nt + N);
@@ -517,6 +618,24 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     if (!T || N == 0)
       return T;
     if (is_flat(T) || size(T) <= kappa()) {
+      if (flat_fastpath() && is_flat(T)) {
+        // Leaf splice: keys in A are sorted and distinct, so each can match
+        // at most one block entry.
+        leaf_writer W(size(T));
+        leaf_reader C(T);
+        size_t J = 0;
+        while (!C.done()) {
+          while (J < N && key_less(A[J], C.key()))
+            ++J;
+          if (J < N && !key_less(C.key(), A[J])) {
+            C.skip();
+            ++J;
+            continue;
+          }
+          W.push(C.take());
+        }
+        return W.finish();
+      }
       size_t Nt = size(T);
       temp_buf Bt(Nt), Out(Nt);
       flatten(T, Bt.data());

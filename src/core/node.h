@@ -210,6 +210,23 @@ struct node_layer {
     return make_regular(nullptr, std::move(E), nullptr);
   }
 
+  /// Allocates a flat node whose payload the caller fills with exactly
+  /// \p Bytes of encoded data for \p N entries (e.g. from an encoder
+  /// write_cursor's finish()). The augmented value is \p Aug; the streaming
+  /// leaf path is only taken for unaugmented trees, where it is empty.
+  static flat_t *alloc_flat(size_t N, size_t Bytes, aug_t Aug = aug_t{}) {
+    assert(kBlocked && "flat nodes only exist in blocked trees");
+    assert(N >= 1 && N <= 2 * kB && "flat node size out of range");
+    void *Mem = tree_alloc(kPayloadOffset + Bytes);
+    flat_t *T = ::new (Mem) flat_t;
+    T->Ref.store(1, std::memory_order_relaxed);
+    T->Kind = FlatKind;
+    T->Size = static_cast<uint32_t>(N);
+    T->Bytes = static_cast<uint32_t>(Bytes);
+    T->Aug = Aug;
+    return T;
+  }
+
   /// Frees a regular node shell without touching its children's counts.
   /// The entry is destroyed exactly once, by ~regular_t (callers that want
   /// the entry move it out first, leaving a destructible husk).
@@ -220,6 +237,15 @@ struct node_layer {
 
   static void free_flat(flat_t *T) {
     encoder::destroy(payload(T), T->Size);
+    size_t Bytes = kPayloadOffset + T->Bytes;
+    T->~flat_t();
+    tree_free(T, Bytes);
+  }
+
+  /// Frees a flat node's storage WITHOUT destroying its payload entries —
+  /// for callers that already consumed them through a consuming read
+  /// cursor (see tree_ops::leaf_reader).
+  static void free_flat_shell(flat_t *T) {
     size_t Bytes = kPayloadOffset + T->Bytes;
     T->~flat_t();
     tree_free(T, Bytes);
@@ -271,9 +297,7 @@ struct node_layer {
       flat_t *F = static_cast<flat_t *>(T);
       if (ref_count(T) == 1) {
         encoder::decode_move(payload(F), N, Out);
-        size_t Bytes = kPayloadOffset + F->Bytes;
-        F->~flat_t();
-        tree_free(F, Bytes);
+        free_flat_shell(F);
       } else {
         encoder::decode(payload(F), N, Out);
         dec(T);

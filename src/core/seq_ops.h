@@ -79,6 +79,17 @@ struct seq_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return {T, nullptr};
     if (is_flat(T)) {
       size_t N = T->Size;
+      if (TO::flat_fastpath()) {
+        // Stream the block into the two sides without materializing it.
+        typename TO::leaf_reader C(T);
+        typename TO::leaf_writer WL(I), WR(N - I);
+        for (size_t J = 0; J < I; ++J)
+          WL.push(C.take());
+        while (!C.done())
+          WR.push(C.take());
+        node_t *L = WL.finish();
+        return {L, WR.finish()};
+      }
       temp_buf Buf(N);
       flatten(T, Buf.data());
       Buf.set_count(N);

@@ -140,6 +140,99 @@ template <class Entry, bool ValsByteCoded> struct diff_encoder_impl {
   }
 
   static void destroy(uint8_t *, size_t) {}
+
+  /// Streaming reader: decodes one entry per advance (no block
+  /// materialization). Delta blocks own no C++ objects, so Consume only
+  /// matters for the caller's shell bookkeeping.
+  class read_cursor {
+  public:
+    read_cursor(const uint8_t *In, size_t N, bool /*Consume*/ = false)
+        : In(In), Remaining(N) {
+      if (Remaining)
+        this->In = decode_entry(this->In, Prev, /*First=*/true, Cur);
+    }
+    read_cursor(const read_cursor &) = delete;
+    read_cursor &operator=(const read_cursor &) = delete;
+
+    bool done() const { return Remaining == 0; }
+    const entry_t &peek() const {
+      assert(Remaining && "peek past the end of the block");
+      return Cur;
+    }
+    entry_t take() {
+      entry_t E = Cur;
+      skip();
+      return E;
+    }
+    void skip() {
+      assert(Remaining && "skip past the end of the block");
+      if (--Remaining)
+        In = decode_entry(In, Prev, /*First=*/false, Cur);
+    }
+    void release() { Remaining = 0; }
+
+  private:
+    const uint8_t *In;
+    size_t Remaining;
+    uint64_t Prev = 0;
+    entry_t Cur{};
+  };
+
+  /// Streaming writer: byte-codes each entry as it is pushed, so bytes()
+  /// is exact at every point and finish() is a single memcpy — no
+  /// encoded_size or encode pass over a materialized array.
+  class write_cursor {
+  public:
+    static constexpr bool stages_entries = false;
+    /// First key costs up to a full-width varint; every entry at most a
+    /// full-width delta plus its value bytes.
+    static size_t max_bytes(size_t MaxN) {
+      size_t PerEntry = 10; // 64-bit varint worst case.
+      if constexpr (has_val)
+        PerEntry += ValsByteCoded ? 10 : sizeof(typename Entry::val_t);
+      return MaxN * PerEntry;
+    }
+
+    write_cursor(uint8_t *Buf, size_t /*MaxN*/) : Base(Buf), Out(Buf) {}
+    write_cursor(const write_cursor &) = delete;
+    write_cursor &operator=(const write_cursor &) = delete;
+
+    void push(entry_t E) {
+      uint64_t K = static_cast<uint64_t>(Entry::get_key(E));
+      if (N == 0) {
+        Out = varint_encode(K, Out);
+      } else {
+        assert(K > Prev && "block keys must be strictly increasing");
+        Out = varint_encode(K - Prev, Out);
+      }
+      Out = encode_value(E, Out);
+      Prev = K;
+      ++N;
+    }
+    size_t count() const { return N; }
+    size_t bytes() const { return static_cast<size_t>(Out - Base); }
+
+    void finish(uint8_t *Dst) {
+      if (N)
+        std::memcpy(Dst, Base, bytes());
+      release();
+    }
+    void drain(entry_t *DstEntries) {
+      decode(Base, N, DstEntries);
+      release();
+    }
+    void release() {
+      Out = Base;
+      N = 0;
+      Prev = 0;
+    }
+
+  private:
+    uint8_t *Base;
+    uint8_t *Out;
+    size_t N = 0;
+    uint64_t Prev = 0;
+  };
 };
 
 } // namespace detail

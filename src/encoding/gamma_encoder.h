@@ -172,6 +172,104 @@ template <class Entry> struct gamma_encoder {
   }
 
   static void destroy(uint8_t *, size_t) {}
+
+  /// Streaming reader: varint first key, then one gamma code per advance.
+  class read_cursor {
+  public:
+    read_cursor(const uint8_t *In, size_t N, bool /*Consume*/ = false)
+        : Remaining(N) {
+      if (Remaining) {
+        In = varint_decode(In, Prev);
+        R = detail::BitReader(In);
+        Cur = static_cast<key_t>(Prev);
+      }
+    }
+    read_cursor(const read_cursor &) = delete;
+    read_cursor &operator=(const read_cursor &) = delete;
+
+    bool done() const { return Remaining == 0; }
+    const entry_t &peek() const {
+      assert(Remaining && "peek past the end of the block");
+      return Cur;
+    }
+    entry_t take() {
+      entry_t E = Cur;
+      skip();
+      return E;
+    }
+    void skip() {
+      assert(Remaining && "skip past the end of the block");
+      if (--Remaining) {
+        Prev += detail::gammaGet(R);
+        Cur = static_cast<key_t>(Prev);
+      }
+    }
+    void release() { Remaining = 0; }
+
+  private:
+    size_t Remaining;
+    uint64_t Prev = 0;
+    detail::BitReader R{nullptr};
+    entry_t Cur{};
+  };
+
+  /// Streaming writer: gamma-codes each delta as it is pushed; bytes() is
+  /// the exact padded payload size so far and finish() is a single memcpy.
+  class write_cursor {
+  public:
+    static constexpr bool stages_entries = false;
+    /// Worst case: 10-byte varint first key, then up to 127 gamma bits
+    /// (= 16 bytes) per delta.
+    static size_t max_bytes(size_t MaxN) { return 10 + 16 * MaxN; }
+
+    write_cursor(uint8_t *Buf, size_t /*MaxN*/) : Base(Buf) {}
+    write_cursor(const write_cursor &) = delete;
+    write_cursor &operator=(const write_cursor &) = delete;
+
+    void push(entry_t E) {
+      uint64_t K = static_cast<uint64_t>(Entry::get_key(E));
+      if (N == 0) {
+        uint8_t *Out = varint_encode(K, Base);
+        VarBytes = static_cast<size_t>(Out - Base);
+        W = detail::BitWriter(Out);
+      } else {
+        assert(K > Prev && "block keys must be strictly increasing");
+        uint64_t Delta = K - Prev;
+        detail::gammaPut(W, Delta);
+        Bits += detail::gammaBits(Delta);
+      }
+      Prev = K;
+      ++N;
+    }
+    size_t count() const { return N; }
+    size_t bytes() const {
+      return N == 0 ? 0 : VarBytes + (Bits + 7) / 8;
+    }
+
+    void finish(uint8_t *Dst) {
+      if (N)
+        std::memcpy(Dst, Base, bytes());
+      release();
+    }
+    void drain(entry_t *DstEntries) {
+      decode(Base, N, DstEntries);
+      release();
+    }
+    void release() {
+      N = 0;
+      Bits = 0;
+      VarBytes = 0;
+      Prev = 0;
+    }
+
+  private:
+    uint8_t *Base;
+    detail::BitWriter W{nullptr};
+    size_t N = 0;
+    size_t Bits = 0;
+    size_t VarBytes = 0;
+    uint64_t Prev = 0;
+  };
 };
 
 } // namespace cpam

@@ -21,6 +21,37 @@
 ///   can_be_parallel       true if decode is parallelizable (affects span,
 ///                         Sec. 6.2)
 ///
+/// Streaming cursor interface (used by the flat-leaf set-operation fast
+/// paths, which merge encoded blocks without materializing them):
+///
+///   read_cursor(In, N, Consume)  yields the block's entries one at a time:
+///     done()      no entries left
+///     peek()      const ref to the current entry (valid until the cursor
+///                 advances)
+///     take()      moves the current entry out and advances; when Consume is
+///                 false the entry is copied instead (the block stays alive)
+///     skip()      advances, discarding the current entry
+///     release()   destroys any unconsumed entries the cursor owns; also run
+///                 by the destructor, so abandoning a cursor mid-block leaks
+///                 nothing. With Consume set the caller must not destroy the
+///                 block's entries again (free the shell bytes only).
+///
+///   write_cursor(Buf, MaxN)  appends entries into an output block staged in
+///   caller-owned Buf (at least max_bytes(MaxN) bytes):
+///     push(E)     appends E (moved); keys must arrive in strictly
+///                 increasing order for delta-coded schemes
+///     count()     entries pushed so far
+///     bytes()     exact encoded payload size of the entries pushed so far
+///     finish(Out) emits the final encoded payload into Out (bytes() bytes,
+///                 e.g. a freshly allocated leaf) and resets the cursor
+///     drain(Out)  moves the staged entries into raw entry storage Out
+///                 instead (the fallback when the result does not fit one
+///                 leaf) and resets the cursor
+///     release()   drops staged entries; also run by the destructor.
+///   stages_entries is true when the staged bytes are themselves a plain
+///   entry array exposed via staged() (raw encoding), letting callers build
+///   trees from the staging area with zero extra moves.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CPAM_ENCODING_RAW_ENCODER_H
@@ -98,6 +129,113 @@ template <class Entry> struct raw_encoder {
         Src[I].~entry_t();
     }
   }
+
+  /// Streaming reader over an encoded block. With \p Consume set, entries
+  /// are moved out as they are taken and the block's entries are destroyed
+  /// by the time the cursor is done (or released) — the caller then frees
+  /// only the shell bytes. A block of a shared node must use Consume=false.
+  class read_cursor {
+  public:
+    read_cursor(const uint8_t *In, size_t N, bool Consume = false)
+        // Consuming cursors mutate the payload of a uniquely owned block.
+        : Src(reinterpret_cast<entry_t *>(const_cast<uint8_t *>(In))), N(N),
+          Consume(Consume) {}
+    read_cursor(const read_cursor &) = delete;
+    read_cursor &operator=(const read_cursor &) = delete;
+    ~read_cursor() { release(); }
+
+    bool done() const { return I == N; }
+    const entry_t &peek() const {
+      assert(I < N && "peek past the end of the block");
+      return Src[I];
+    }
+    entry_t take() {
+      assert(I < N && "take past the end of the block");
+      if constexpr (std::is_copy_constructible_v<entry_t>) {
+        if (!Consume)
+          return Src[I++];
+      } else {
+        assert(Consume && "move-only entries require a consuming cursor");
+      }
+      entry_t E = std::move(Src[I]);
+      Src[I].~entry_t();
+      ++I;
+      return E;
+    }
+    void skip() {
+      assert(I < N && "skip past the end of the block");
+      if (Consume)
+        Src[I].~entry_t();
+      ++I;
+    }
+    /// Destroys the unconsumed tail of a consuming cursor.
+    void release() {
+      if (Consume)
+        for (; I < N; ++I)
+          Src[I].~entry_t();
+      I = N;
+    }
+
+  private:
+    entry_t *Src;
+    size_t N;
+    size_t I = 0;
+    bool Consume;
+  };
+
+  /// Streaming writer: the staging buffer is the entry array itself, which
+  /// doubles as the encoded payload (the raw scheme is the identity).
+  class write_cursor {
+  public:
+    static constexpr bool stages_entries = true;
+    static size_t max_bytes(size_t MaxN) { return MaxN * sizeof(entry_t); }
+
+    write_cursor(uint8_t *Buf, size_t MaxN)
+        : A(reinterpret_cast<entry_t *>(Buf)), Cap(MaxN) {
+      static_assert(alignof(entry_t) <= 16,
+                    "entry alignment beyond 16 unsupported");
+    }
+    write_cursor(const write_cursor &) = delete;
+    write_cursor &operator=(const write_cursor &) = delete;
+    ~write_cursor() { release(); }
+
+    void push(entry_t E) {
+      assert(N < Cap && "write cursor overflow");
+      ::new (static_cast<void *>(A + N)) entry_t(std::move(E));
+      ++N;
+    }
+    size_t count() const { return N; }
+    size_t bytes() const { return N * sizeof(entry_t); }
+    /// Staged entries (moving out of them is allowed; the cursor still
+    /// destroys the husks).
+    entry_t *staged() { return A; }
+
+    void finish(uint8_t *Out) {
+      encode(A, N, Out); // Moves non-trivial entries out of the staging.
+      release();
+    }
+    void drain(entry_t *Out) {
+      if constexpr (is_trivial) {
+        if (N)
+          std::memcpy(static_cast<void *>(Out), A, N * sizeof(entry_t));
+      } else {
+        for (size_t I = 0; I < N; ++I)
+          ::new (static_cast<void *>(Out + I)) entry_t(std::move(A[I]));
+      }
+      release();
+    }
+    void release() {
+      if constexpr (!std::is_trivially_destructible_v<entry_t>)
+        for (size_t I = 0; I < N; ++I)
+          A[I].~entry_t();
+      N = 0;
+    }
+
+  private:
+    entry_t *A;
+    size_t N = 0;
+    [[maybe_unused]] size_t Cap;
+  };
 };
 
 } // namespace cpam

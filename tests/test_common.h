@@ -58,6 +58,21 @@ inline uint64_t test_seed(uint64_t Salt = 0) {
 /// A counter-based RNG seeded deterministically for the current test.
 inline Rng seeded_rng(uint64_t Salt = 0) { return Rng(test_seed(Salt)); }
 
+/// Saves and restores a runtime switch (e.g. Ops::flat_fastpath()) around a
+/// test body, so a failed ASSERT cannot leak a flipped global into later
+/// tests in the same binary.
+class FlagGuard {
+public:
+  explicit FlagGuard(bool &Flag) : Flag(Flag), Saved(Flag) {}
+  FlagGuard(const FlagGuard &) = delete;
+  FlagGuard &operator=(const FlagGuard &) = delete;
+  ~FlagGuard() { Flag = Saved; }
+
+private:
+  bool &Flag;
+  bool Saved;
+};
+
 /// Fails the test if tree nodes allocated during its body were not returned
 /// to the allocator by the time the body finished.
 class LeakCheckTest : public ::testing::Test {

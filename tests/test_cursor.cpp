@@ -1,0 +1,436 @@
+//===- test_cursor.cpp - Streaming encoder cursor tests --------------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-encoder read_cursor / write_cursor contract tests: round trips over
+/// empty, single-entry, dense and max-width-delta blocks; fuzzed
+/// skip/take/peek interleavings against the for_each_while reference;
+/// bytes() agreement with encoded_size; move-only entries; and early
+/// abandonment (no leaked or double-destroyed entries, checked with a
+/// construction-counting entry type and with the allocator leak fixture at
+/// the tree level). ASan (the sanitize CI leg) additionally checks the
+/// max_bytes staging bound and shell-free ordering.
+///
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "src/api/pam_set.h"
+#include "src/core/entry.h"
+#include "src/encoding/diff_encoder.h"
+#include "src/encoding/gamma_encoder.h"
+#include "src/encoding/raw_encoder.h"
+#include "src/parallel/random.h"
+#include "tests/test_common.h"
+
+using namespace cpam;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shared round-trip machinery.
+//===----------------------------------------------------------------------===//
+
+/// Encodes \p Entries through a write_cursor into a tight block, asserting
+/// bytes() agrees with encoded_size, and returns the block.
+template <class Enc, class EntryT>
+std::vector<uint8_t> encodeViaCursor(std::vector<EntryT> Entries) {
+  size_t N = Entries.size();
+  // +1 keeps the staging vector non-empty for the N == 0 case.
+  std::vector<uint8_t> Staging(Enc::write_cursor::max_bytes(N) + 1);
+  typename Enc::write_cursor W(Staging.data(), N);
+  std::vector<EntryT> Reference = Entries; // For encoded_size cross-check.
+  for (size_t I = 0; I < N; ++I) {
+    W.push(std::move(Entries[I]));
+    EXPECT_EQ(W.count(), I + 1);
+  }
+  EXPECT_EQ(W.bytes(), Enc::encoded_size(Reference.data(), N))
+      << "write_cursor bytes() must equal encoded_size for the same entries";
+  std::vector<uint8_t> Block(W.bytes());
+  W.finish(Block.data());
+  EXPECT_EQ(W.count(), 0u) << "finish() must reset the cursor";
+  return Block;
+}
+
+/// Reads a whole block back through a borrowing read_cursor.
+template <class Enc, class EntryT>
+std::vector<EntryT> decodeViaCursor(const std::vector<uint8_t> &Block,
+                                    size_t N) {
+  std::vector<EntryT> Out;
+  typename Enc::read_cursor R(Block.data(), N);
+  while (!R.done()) {
+    EXPECT_EQ(R.peek(), R.peek()) << "peek must be stable";
+    Out.push_back(R.take());
+  }
+  return Out;
+}
+
+template <class Enc, class EntryT>
+void roundTrip(const std::vector<EntryT> &Entries) {
+  size_t N = Entries.size();
+  std::vector<uint8_t> Block = encodeViaCursor<Enc>(Entries);
+  // Cursor-written bytes decode identically through the non-cursor path.
+  std::vector<EntryT> ViaForEach;
+  Enc::for_each_while(Block.data(), N, [&](const EntryT &E) {
+    ViaForEach.push_back(E);
+    return true;
+  });
+  EXPECT_EQ(ViaForEach, Entries);
+  EXPECT_EQ((decodeViaCursor<Enc, EntryT>(Block, N)), Entries);
+}
+
+using U64Set = set_entry<uint64_t>;
+using U64Map = map_entry<uint64_t, uint64_t>;
+
+using RawSetEnc = raw_encoder<U64Set>;
+using DiffSetEnc = diff_encoder<U64Set>;
+using GammaSetEnc = gamma_encoder<U64Set>;
+using RawMapEnc = raw_encoder<U64Map>;
+using DiffMapEnc = diff_encoder<U64Map>;
+using DiffValMapEnc = diff_val_encoder<U64Map>;
+
+std::vector<uint64_t> sortedUniqueKeys(size_t N, uint64_t MaxDelta, Rng &R) {
+  std::vector<uint64_t> Keys(N);
+  uint64_t K = R.next(1000);
+  for (size_t I = 0; I < N; ++I) {
+    Keys[I] = K;
+    K += 1 + R.next(MaxDelta);
+  }
+  return Keys;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+toMapEntries(const std::vector<uint64_t> &Keys, Rng &R) {
+  std::vector<std::pair<uint64_t, uint64_t>> Out(Keys.size());
+  for (size_t I = 0; I < Keys.size(); ++I)
+    Out[I] = {Keys[I], R.next(1u << 20)};
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Round trips: empty, single, dense, sparse, max-width.
+//===----------------------------------------------------------------------===//
+
+TEST(CursorRoundTrip, EmptyBlock) {
+  roundTrip<RawSetEnc, uint64_t>({});
+  roundTrip<DiffSetEnc, uint64_t>({});
+  roundTrip<GammaSetEnc, uint64_t>({});
+  roundTrip<DiffValMapEnc, std::pair<uint64_t, uint64_t>>({});
+}
+
+TEST(CursorRoundTrip, SingleEntry) {
+  for (uint64_t K : {uint64_t(0), uint64_t(1), uint64_t(127), uint64_t(128),
+                     uint64_t(1) << 40, ~uint64_t(0)}) {
+    roundTrip<RawSetEnc, uint64_t>({K});
+    roundTrip<DiffSetEnc, uint64_t>({K});
+    roundTrip<GammaSetEnc, uint64_t>({K});
+    roundTrip<RawMapEnc, std::pair<uint64_t, uint64_t>>({{K, 7}});
+    roundTrip<DiffMapEnc, std::pair<uint64_t, uint64_t>>({{K, 7}});
+    roundTrip<DiffValMapEnc, std::pair<uint64_t, uint64_t>>({{K, 7}});
+  }
+}
+
+TEST(CursorRoundTrip, MaxWidthDeltas) {
+  // First key 0 then a full-width jump: the largest delta each scheme can
+  // carry (10-byte varints; 127-bit gamma codes).
+  std::vector<uint64_t> Extremes = {0, ~uint64_t(0) - 1, ~uint64_t(0)};
+  roundTrip<RawSetEnc, uint64_t>(Extremes);
+  roundTrip<DiffSetEnc, uint64_t>(Extremes);
+  roundTrip<GammaSetEnc, uint64_t>(Extremes);
+  std::vector<uint64_t> HighFirst = {~uint64_t(0) - 7, ~uint64_t(0)};
+  roundTrip<DiffSetEnc, uint64_t>(HighFirst);
+  roundTrip<GammaSetEnc, uint64_t>(HighFirst);
+  // Byte-coded values at max width too.
+  roundTrip<DiffValMapEnc, std::pair<uint64_t, uint64_t>>(
+      {{0, ~uint64_t(0)}, {~uint64_t(0), 0}});
+}
+
+TEST(CursorRoundTrip, FuzzAllWidths) {
+  auto R = test::seeded_rng();
+  for (uint64_t MaxDelta : {uint64_t(1), uint64_t(100), uint64_t(1) << 30,
+                            uint64_t(1) << 52}) {
+    for (size_t N : {size_t(2), size_t(17), size_t(256), size_t(300)}) {
+      auto Keys = sortedUniqueKeys(N, MaxDelta, R);
+      roundTrip<RawSetEnc, uint64_t>(Keys);
+      roundTrip<DiffSetEnc, uint64_t>(Keys);
+      roundTrip<GammaSetEnc, uint64_t>(Keys);
+      auto Entries = toMapEntries(Keys, R);
+      roundTrip<RawMapEnc, std::pair<uint64_t, uint64_t>>(Entries);
+      roundTrip<DiffMapEnc, std::pair<uint64_t, uint64_t>>(Entries);
+      roundTrip<DiffValMapEnc, std::pair<uint64_t, uint64_t>>(Entries);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// skip/take/peek interleavings.
+//===----------------------------------------------------------------------===//
+
+template <class Enc> void fuzzSkipTake(uint64_t Salt) {
+  auto R = test::seeded_rng(Salt);
+  for (int Round = 0; Round < 20; ++Round) {
+    size_t N = 1 + R.next(200);
+    auto Keys = sortedUniqueKeys(N, 1 + R.next(1000), R);
+    std::vector<uint8_t> Block = encodeViaCursor<Enc>(Keys);
+    std::vector<uint64_t> Taken, Expect;
+    typename Enc::read_cursor C(Block.data(), N);
+    for (size_t I = 0; I < N; ++I) {
+      ASSERT_FALSE(C.done());
+      ASSERT_EQ(C.peek(), Keys[I]);
+      if (R.next(2)) {
+        Taken.push_back(C.take());
+        Expect.push_back(Keys[I]);
+      } else {
+        C.skip();
+      }
+    }
+    ASSERT_TRUE(C.done());
+    ASSERT_EQ(Taken, Expect);
+  }
+}
+
+TEST(CursorSkipTake, Raw) { fuzzSkipTake<RawSetEnc>(1); }
+TEST(CursorSkipTake, Diff) { fuzzSkipTake<DiffSetEnc>(2); }
+TEST(CursorSkipTake, Gamma) { fuzzSkipTake<GammaSetEnc>(3); }
+
+//===----------------------------------------------------------------------===//
+// Ownership: counting entries, consuming cursors, early abandonment.
+//===----------------------------------------------------------------------===//
+
+/// An entry type that counts live instances and copy/move constructions.
+struct Counted {
+  uint64_t K = 0;
+  static int64_t Live, Copies, Moves;
+
+  Counted() { ++Live; }
+  explicit Counted(uint64_t K) : K(K) { ++Live; }
+  Counted(const Counted &O) : K(O.K) {
+    ++Live;
+    ++Copies;
+  }
+  Counted(Counted &&O) noexcept : K(O.K) {
+    ++Live;
+    ++Moves;
+  }
+  Counted &operator=(const Counted &O) {
+    K = O.K;
+    ++Copies;
+    return *this;
+  }
+  Counted &operator=(Counted &&O) noexcept {
+    K = O.K;
+    ++Moves;
+    return *this;
+  }
+  ~Counted() { --Live; }
+  bool operator==(const Counted &O) const { return K == O.K; }
+
+  static void reset() { Copies = Moves = 0; }
+};
+int64_t Counted::Live = 0;
+int64_t Counted::Copies = 0;
+int64_t Counted::Moves = 0;
+
+struct CountedEntry {
+  using key_t = uint64_t;
+  using val_t = no_aug;
+  using entry_t = Counted;
+  using aug_t = no_aug;
+  static constexpr bool has_val = false;
+  static const key_t &get_key(const entry_t &E) { return E.K; }
+  static bool comp(const key_t &A, const key_t &B) { return A < B; }
+};
+using CountedEnc = raw_encoder<CountedEntry>;
+
+TEST(CursorOwnership, ConsumingTakeMovesAndAbandonmentDestroys) {
+  ASSERT_EQ(Counted::Live, 0);
+  {
+    constexpr size_t N = 8;
+    std::vector<uint8_t> Block(CountedEnc::encoded_size(nullptr, N));
+    {
+      std::vector<Counted> A;
+      for (size_t I = 0; I < N; ++I)
+        A.emplace_back(I * 10);
+      CountedEnc::encode(A.data(), N, Block.data()); // Moves into the block.
+    }
+    ASSERT_EQ(Counted::Live, static_cast<int64_t>(N)); // Block owns them.
+    Counted::reset();
+    {
+      CountedEnc::read_cursor C(Block.data(), N, /*Consume=*/true);
+      Counted E0 = C.take();
+      EXPECT_EQ(E0.K, 0u);
+      C.skip();
+      Counted E2 = C.take();
+      EXPECT_EQ(E2.K, 20u);
+      // Abandon with five entries unconsumed: the cursor destroys them.
+    }
+    EXPECT_EQ(Counted::Copies, 0) << "consuming take() must move, not copy";
+    EXPECT_EQ(Counted::Live, 0) << "abandoned cursor leaked block entries";
+  }
+}
+
+TEST(CursorOwnership, BorrowingTakeCopiesAndLeavesBlockAlive) {
+  constexpr size_t N = 4;
+  std::vector<uint8_t> Block(CountedEnc::encoded_size(nullptr, N));
+  {
+    std::vector<Counted> A;
+    for (size_t I = 0; I < N; ++I)
+      A.emplace_back(I);
+    CountedEnc::encode(A.data(), N, Block.data());
+  }
+  Counted::reset();
+  for (int Round = 0; Round < 2; ++Round) {
+    CountedEnc::read_cursor C(Block.data(), N, /*Consume=*/false);
+    while (!C.done())
+      (void)C.take();
+  }
+  EXPECT_EQ(Counted::Copies, 2 * N) << "borrowing take() copies each entry";
+  EXPECT_EQ(Counted::Live, static_cast<int64_t>(N)) << "block must stay alive";
+  CountedEnc::destroy(Block.data(), N);
+  EXPECT_EQ(Counted::Live, 0);
+}
+
+TEST(CursorOwnership, WriteCursorAbandonmentDestroysStagedEntries) {
+  ASSERT_EQ(Counted::Live, 0);
+  constexpr size_t N = 6;
+  std::vector<uint8_t> Staging(CountedEnc::write_cursor::max_bytes(N));
+  Counted::reset();
+  {
+    CountedEnc::write_cursor W(Staging.data(), N);
+    for (size_t I = 0; I < N / 2; ++I)
+      W.push(Counted(I));
+    EXPECT_EQ(W.count(), N / 2);
+    // Abandon without finish(): staged entries must be destroyed.
+  }
+  EXPECT_EQ(Counted::Live, 0) << "abandoned write_cursor leaked entries";
+  EXPECT_EQ(Counted::Copies, 0) << "push must move, not copy";
+}
+
+TEST(CursorOwnership, WriteReadPipelineNeverCopies) {
+  constexpr size_t N = 10;
+  std::vector<uint8_t> Staging(CountedEnc::write_cursor::max_bytes(N));
+  std::vector<uint8_t> Block;
+  Counted::reset();
+  {
+    CountedEnc::write_cursor W(Staging.data(), N);
+    for (size_t I = 0; I < N; ++I)
+      W.push(Counted(I * 3));
+    Block.resize(W.bytes());
+    W.finish(Block.data());
+  }
+  {
+    CountedEnc::read_cursor C(Block.data(), N, /*Consume=*/true);
+    uint64_t I = 0;
+    while (!C.done())
+      EXPECT_EQ(C.take().K, 3 * I++);
+  }
+  EXPECT_EQ(Counted::Copies, 0)
+      << "a full write->finish->consume pipeline must never copy an entry";
+  EXPECT_EQ(Counted::Live, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Move-only entries.
+//===----------------------------------------------------------------------===//
+
+struct MoveOnlyEntry {
+  using key_t = uint64_t;
+  using val_t = no_aug;
+  using entry_t = std::unique_ptr<uint64_t>;
+  using aug_t = no_aug;
+  static constexpr bool has_val = false;
+  static const key_t &get_key(const entry_t &E) { return *E; }
+  static bool comp(const key_t &A, const key_t &B) { return A < B; }
+};
+using MoveOnlyEnc = raw_encoder<MoveOnlyEntry>;
+
+TEST(CursorMoveOnly, RawCursorsHandleMoveOnlyEntries) {
+  constexpr size_t N = 5;
+  std::vector<uint8_t> Staging(MoveOnlyEnc::write_cursor::max_bytes(N));
+  std::vector<uint8_t> Block;
+  {
+    MoveOnlyEnc::write_cursor W(Staging.data(), N);
+    for (size_t I = 0; I < N; ++I)
+      W.push(std::make_unique<uint64_t>(I * 2));
+    Block.resize(W.bytes());
+    W.finish(Block.data());
+  }
+  {
+    MoveOnlyEnc::read_cursor C(Block.data(), N, /*Consume=*/true);
+    uint64_t I = 0;
+    while (!C.done()) {
+      ASSERT_NE(C.peek(), nullptr);
+      auto P = C.take();
+      EXPECT_EQ(*P, 2 * I++);
+    }
+    EXPECT_EQ(I, N);
+  }
+}
+
+TEST(CursorMoveOnly, EarlyAbandonmentReleasesMoveOnlyTail) {
+  constexpr size_t N = 7;
+  std::vector<uint8_t> Staging(MoveOnlyEnc::write_cursor::max_bytes(N));
+  std::vector<uint8_t> Block;
+  {
+    MoveOnlyEnc::write_cursor W(Staging.data(), N);
+    for (size_t I = 0; I < N; ++I)
+      W.push(std::make_unique<uint64_t>(I));
+    Block.resize(W.bytes());
+    W.finish(Block.data());
+  }
+  {
+    MoveOnlyEnc::read_cursor C(Block.data(), N, /*Consume=*/true);
+    (void)C.take();
+    C.skip();
+    // Abandon: the remaining unique_ptrs are destroyed by the cursor (ASan
+    // and LeakSanitizer catch it in the sanitize leg if they are not).
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Tree level: leaf_reader/leaf_writer through the set-operation fast paths,
+// under the allocator leak fixture.
+//===----------------------------------------------------------------------===//
+
+template <class SetT> class CursorTreeTest : public test::TypedLeakCheckTest<SetT> {};
+
+using CursorSetTypes =
+    ::testing::Types<pam_set<uint64_t, 8>, pam_set<uint64_t, 128>,
+                     pam_set<uint64_t, 32, diff_encoder>,
+                     pam_set<uint64_t, 32, gamma_encoder>>;
+TYPED_TEST_SUITE(CursorTreeTest, CursorSetTypes);
+
+TYPED_TEST(CursorTreeTest, FlatFastPathAgreesWithArrayPath) {
+  auto R = test::seeded_rng();
+  test::FlagGuard G(TypeParam::ops::flat_fastpath());
+  for (int Round = 0; Round < 30; ++Round) {
+    size_t Na = R.next(300), Nb = R.next(300);
+    std::vector<uint64_t> A(Na), B(Nb);
+    for (auto &K : A)
+      K = R.next(1000);
+    for (auto &K : B)
+      K = R.next(1000);
+    TypeParam SA(A), SB(B);
+    TypeParam Results[2][3];
+    for (bool Fast : {false, true}) {
+      TypeParam::ops::flat_fastpath() = Fast;
+      Results[Fast][0] = TypeParam::map_union(SA, SB);
+      Results[Fast][1] = TypeParam::map_intersect(SA, SB);
+      Results[Fast][2] = TypeParam::map_difference(SA, SB);
+    }
+    for (int OpI = 0; OpI < 3; ++OpI) {
+      ASSERT_EQ(Results[0][OpI].to_vector(), Results[1][OpI].to_vector());
+      ASSERT_EQ(Results[1][OpI].check_invariants(), "");
+    }
+  }
+}
+
+} // namespace

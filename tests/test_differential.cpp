@@ -1,0 +1,309 @@
+//===- test_differential.cpp - Differential oracle testing -----------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential testing layer: random interleaved sequences of insert /
+/// remove / union / intersect / difference / multi_insert / multi_delete
+/// driven simultaneously against a PaC-tree and a std::map / std::set
+/// oracle, at block sizes B in {0, 8, 128} (PAM baseline, small blocks, the
+/// paper default) and with the flat-leaf streaming fast paths both on and
+/// off in the same binary. After every step the tree must satisfy the
+/// Def. 4.1 invariants and agree elementwise (keys *and* combined values)
+/// with the oracle. PAM (Sun et al.) defines the uncompressed semantics the
+/// compressed fast paths must preserve exactly; this suite is what licenses
+/// the cursor rewrite of the Sec. 8 base cases.
+///
+/// The same sequences also run over difference- and gamma-encoded sets so
+/// the compressed read/write cursors see every operation mix. Allocator
+/// modes are covered by the build matrix (the sanitize CI leg runs this
+/// suite with the pool off); within a run, the leak fixture checks that no
+/// step drops nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "src/api/pam_map.h"
+#include "src/api/pam_set.h"
+#include "src/encoding/diff_encoder.h"
+#include "src/encoding/gamma_encoder.h"
+#include "tests/test_common.h"
+
+using namespace cpam;
+
+namespace {
+
+constexpr uint64_t kUniverse = 2500; // Small: forces duplicate-key traffic.
+constexpr int kSteps = 160;
+
+//===----------------------------------------------------------------------===//
+// Map differential (value combination checked through std::map).
+//===----------------------------------------------------------------------===//
+
+template <class MapT> class DifferentialMapTest : public test::LeakCheckTest {};
+
+using MapTypes =
+    ::testing::Types<pam_map<uint64_t, uint64_t, 0>,   // PAM baseline
+                     pam_map<uint64_t, uint64_t, 8>,   // Small blocks
+                     pam_map<uint64_t, uint64_t, 128>, // Paper default
+                     pam_map<uint64_t, uint64_t, 8, diff_encoder>,
+                     pam_map<uint64_t, uint64_t, 128, diff_encoder>>;
+TYPED_TEST_SUITE(DifferentialMapTest, MapTypes);
+
+using Oracle = std::map<uint64_t, uint64_t>;
+using EntryVec = std::vector<std::pair<uint64_t, uint64_t>>;
+
+EntryVec randomEntries(Rng &R, size_t N, uint64_t Universe) {
+  EntryVec Out(N);
+  for (auto &E : Out)
+    E = {R.next(Universe), R.next(1u << 16)};
+  return Out;
+}
+
+Oracle toOracle(const EntryVec &Entries) {
+  // Duplicate keys combine left-to-right with +, matching sort_and_combine.
+  Oracle O;
+  for (const auto &[K, V] : Entries) {
+    auto [It, New] = O.emplace(K, V);
+    if (!New)
+      It->second += V;
+  }
+  return O;
+}
+
+template <class MapT>
+void checkAgainstOracle(const MapT &M, const Oracle &O, const char *What) {
+  ASSERT_EQ(M.check_invariants(), "") << What;
+  ASSERT_EQ(M.size(), O.size()) << What;
+  EntryVec Got = M.to_vector();
+  EntryVec Want(O.begin(), O.end());
+  ASSERT_EQ(Got, Want) << What;
+}
+
+/// One random differential episode. All set algebra combines values with +
+/// so a dropped or double-invoked combine is visible in the value, not just
+/// the key set.
+template <class MapT> void runMapEpisode(Rng R) {
+  auto Plus = std::plus<uint64_t>();
+  MapT M;
+  Oracle O;
+  for (int Step = 0; Step < kSteps; ++Step) {
+    switch (R.next(8)) {
+    case 0: { // Point insert (combine +).
+      uint64_t K = R.next(kUniverse), V = R.next(1u << 16);
+      M.insert_inplace(typename MapT::entry_t(K, V), Plus);
+      auto [It, New] = O.emplace(K, V);
+      if (!New)
+        It->second += V;
+      checkAgainstOracle(M, O, "insert");
+      break;
+    }
+    case 1: { // Point remove (key may be absent).
+      uint64_t K = R.next(kUniverse);
+      M = M.remove(K);
+      O.erase(K);
+      checkAgainstOracle(M, O, "remove");
+      break;
+    }
+    case 2: { // Union with a random map.
+      EntryVec B = randomEntries(R, R.next(400), kUniverse);
+      MapT MB(B, Plus);
+      Oracle OB = toOracle(B);
+      M = MapT::map_union(M, MB, Plus);
+      for (const auto &[K, V] : OB) {
+        auto [It, New] = O.emplace(K, V);
+        if (!New)
+          It->second += V;
+      }
+      checkAgainstOracle(M, O, "union");
+      break;
+    }
+    case 3: { // Intersect with a map overlapping half our keys.
+      EntryVec B = randomEntries(R, R.next(400), kUniverse);
+      for (const auto &[K, V] : O)
+        if (R.next(2))
+          B.push_back({K, R.next(1u << 16)});
+      MapT MB(B, Plus);
+      Oracle OB = toOracle(B);
+      M = MapT::map_intersect(M, MB, Plus);
+      Oracle Kept;
+      for (const auto &[K, V] : O) {
+        auto It = OB.find(K);
+        if (It != OB.end())
+          Kept.emplace(K, V + It->second);
+      }
+      O = std::move(Kept);
+      checkAgainstOracle(M, O, "intersect");
+      break;
+    }
+    case 4: { // Difference.
+      EntryVec B = randomEntries(R, R.next(400), kUniverse);
+      MapT MB(B, Plus);
+      M = MapT::map_difference(M, MB);
+      for (const auto &KV : toOracle(B))
+        O.erase(KV.first);
+      checkAgainstOracle(M, O, "difference");
+      break;
+    }
+    case 5: { // multi_insert with in-batch duplicate keys.
+      EntryVec B = randomEntries(R, R.next(500), kUniverse);
+      M = M.multi_insert(B, Plus);
+      for (const auto &[K, V] : toOracle(B)) {
+        auto [It, New] = O.emplace(K, V);
+        if (!New)
+          It->second += V;
+      }
+      checkAgainstOracle(M, O, "multi_insert");
+      break;
+    }
+    case 6: { // multi_delete with duplicate keys in the batch.
+      std::vector<uint64_t> Keys(R.next(500));
+      for (auto &K : Keys)
+        K = R.next(kUniverse);
+      M = M.multi_delete(Keys);
+      for (uint64_t K : Keys)
+        O.erase(K);
+      checkAgainstOracle(M, O, "multi_delete");
+      break;
+    }
+    default: { // Rebuild from scratch occasionally (fresh tree shapes).
+      EntryVec B = randomEntries(R, R.next(800), kUniverse);
+      M = MapT(B, Plus);
+      O = toOracle(B);
+      checkAgainstOracle(M, O, "rebuild");
+      break;
+    }
+    }
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+}
+
+TYPED_TEST(DifferentialMapTest, RandomOpsMatchStdMapBothFastPathSettings) {
+  test::FlagGuard G(TypeParam::ops::flat_fastpath());
+  for (bool Fast : {false, true}) {
+    TypeParam::ops::flat_fastpath() = Fast;
+    runMapEpisode<TypeParam>(test::seeded_rng(Fast));
+    if (this->HasFatalFailure())
+      break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Set differential (compressed encodings included).
+//===----------------------------------------------------------------------===//
+
+template <class SetT> class DifferentialSetTest : public test::LeakCheckTest {};
+
+using SetTypes =
+    ::testing::Types<pam_set<uint64_t, 0>, pam_set<uint64_t, 8>,
+                     pam_set<uint64_t, 128>,
+                     pam_set<uint64_t, 8, diff_encoder>,
+                     pam_set<uint64_t, 128, diff_encoder>,
+                     pam_set<uint64_t, 8, gamma_encoder>,
+                     pam_set<uint64_t, 128, gamma_encoder>>;
+TYPED_TEST_SUITE(DifferentialSetTest, SetTypes);
+
+template <class SetT>
+void checkSetAgainstOracle(const SetT &S, const std::set<uint64_t> &O,
+                           const char *What) {
+  ASSERT_EQ(S.check_invariants(), "") << What;
+  ASSERT_EQ(S.size(), O.size()) << What;
+  std::vector<uint64_t> Want(O.begin(), O.end());
+  ASSERT_EQ(S.to_vector(), Want) << What;
+}
+
+template <class SetT> void runSetEpisode(Rng R) {
+  SetT S;
+  std::set<uint64_t> O;
+  auto RandomKeys = [&](size_t N) {
+    std::vector<uint64_t> Keys(N);
+    for (auto &K : Keys)
+      K = R.next(kUniverse);
+    return Keys;
+  };
+  for (int Step = 0; Step < kSteps; ++Step) {
+    switch (R.next(7)) {
+    case 0: {
+      uint64_t K = R.next(kUniverse);
+      S = S.insert(K);
+      O.insert(K);
+      checkSetAgainstOracle(S, O, "insert");
+      break;
+    }
+    case 1: {
+      uint64_t K = R.next(kUniverse);
+      S = S.remove(K);
+      O.erase(K);
+      checkSetAgainstOracle(S, O, "remove");
+      break;
+    }
+    case 2: {
+      auto Keys = RandomKeys(R.next(400));
+      S = SetT::map_union(S, SetT(Keys));
+      O.insert(Keys.begin(), Keys.end());
+      checkSetAgainstOracle(S, O, "union");
+      break;
+    }
+    case 3: {
+      auto Keys = RandomKeys(R.next(400));
+      for (uint64_t K : O)
+        if (R.next(2))
+          Keys.push_back(K);
+      std::set<uint64_t> OB(Keys.begin(), Keys.end());
+      S = SetT::map_intersect(S, SetT(Keys));
+      std::set<uint64_t> Kept;
+      for (uint64_t K : O)
+        if (OB.count(K))
+          Kept.insert(K);
+      O = std::move(Kept);
+      checkSetAgainstOracle(S, O, "intersect");
+      break;
+    }
+    case 4: {
+      auto Keys = RandomKeys(R.next(400));
+      S = SetT::map_difference(S, SetT(Keys));
+      for (uint64_t K : Keys)
+        O.erase(K);
+      checkSetAgainstOracle(S, O, "difference");
+      break;
+    }
+    case 5: {
+      auto Keys = RandomKeys(R.next(500));
+      S = S.multi_insert(Keys);
+      O.insert(Keys.begin(), Keys.end());
+      checkSetAgainstOracle(S, O, "multi_insert");
+      break;
+    }
+    default: {
+      auto Keys = RandomKeys(R.next(500));
+      S = S.multi_delete(Keys);
+      for (uint64_t K : Keys)
+        O.erase(K);
+      checkSetAgainstOracle(S, O, "multi_delete");
+      break;
+    }
+    }
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+}
+
+TYPED_TEST(DifferentialSetTest, RandomOpsMatchStdSetBothFastPathSettings) {
+  test::FlagGuard G(TypeParam::ops::flat_fastpath());
+  for (bool Fast : {false, true}) {
+    TypeParam::ops::flat_fastpath() = Fast;
+    runSetEpisode<TypeParam>(test::seeded_rng(Fast));
+    if (this->HasFatalFailure())
+      break;
+  }
+}
+
+} // namespace

@@ -224,6 +224,202 @@ TEST_F(MapSetOps, MultiInsertCombineWithinBatch) {
     EXPECT_EQ(*Out2.find(K), 6u);
 }
 
+//===----------------------------------------------------------------------===//
+// Flat-fastpath regressions: the cursor-to-cursor base cases (leaf_reader ->
+// leaf_writer) must preserve the array path's semantics exactly.
+//===----------------------------------------------------------------------===//
+
+using test::FlagGuard;
+
+class FlatFastPath : public test::LeakCheckTest {};
+
+// Oversized-leaf folding: splicing a batch into a full 2B leaf (and joining
+// two full leaves) must fold the result back into legal [B,2B] leaves, in
+// both fast-path settings.
+TEST_F(FlatFastPath, OversizedLeafFolding) {
+  auto FoldCase = [](auto SetTag, size_t TwoB) {
+    using Set = decltype(SetTag);
+    FlagGuard G(Set::ops::flat_fastpath());
+    std::vector<uint64_t> Evens(TwoB), Odds(TwoB);
+    for (size_t I = 0; I < TwoB; ++I) {
+      Evens[I] = 2 * I;
+      Odds[I] = 2 * I + 1;
+    }
+    for (bool Fast : {false, true}) {
+      Set::ops::flat_fastpath() = Fast;
+      Set A = Set::from_sorted(Evens);
+      ASSERT_EQ(A.node_count(), 1u) << "a 2B-entry tree must be one leaf";
+      // multi_insert splice: 2B + 2B entries can no longer be one leaf.
+      Set Spliced = A.multi_insert(Odds);
+      ASSERT_EQ(Spliced.check_invariants(), "") << "fast=" << Fast;
+      ASSERT_EQ(Spliced.size(), 2 * TwoB);
+      ASSERT_GT(Spliced.node_count(), 1u);
+      // union of two full leaves folds the same way.
+      Set U = Set::map_union(A, Set::from_sorted(Odds));
+      ASSERT_EQ(U.check_invariants(), "") << "fast=" << Fast;
+      ASSERT_EQ(U.to_vector(), Spliced.to_vector());
+      // Shrinking splice: deleting most of a leaf must rebuild legal
+      // (regular, sub-B) structure, not an undersized interior leaf.
+      std::vector<uint64_t> Most(Evens.begin(), Evens.end() - 3);
+      Set Small = A.multi_delete(Most);
+      ASSERT_EQ(Small.check_invariants(), "") << "fast=" << Fast;
+      ASSERT_EQ(Small.size(), 3u);
+      // Near-2B splice: total stays within one leaf, so byte-coded
+      // encoders take the streaming cursor splice too (for batches past
+      // 2B they dispatch back to the array path via flat_merge_wins).
+      size_t B2 = TwoB / 2; // == block-size B.
+      Set Partial = Set::from_sorted(
+          std::vector<uint64_t>(Evens.begin(), Evens.begin() + B2 + 2));
+      std::vector<uint64_t> SmallBatch(Odds.begin(), Odds.begin() + B2 - 4);
+      Set NearFull = Partial.multi_insert(SmallBatch);
+      ASSERT_EQ(NearFull.check_invariants(), "") << "fast=" << Fast;
+      ASSERT_EQ(NearFull.size(), TwoB - 2);
+      ASSERT_EQ(NearFull.node_count(), 1u)
+          << "a result of 2B-2 entries must still be a single leaf";
+    }
+  };
+  FoldCase(pam_set<uint64_t, 8>(), 16);
+  FoldCase(pam_set<uint64_t, 128>(), 256);
+  FoldCase(pam_set<uint64_t, 32, diff_encoder>(), 64);
+}
+
+// The combine op must run exactly once per duplicate key in every base-case
+// shape, fast path on or off.
+TEST_F(FlatFastPath, CombineOpInvokedOncePerDuplicateKey) {
+  using M = pam_map<uint64_t, uint64_t, 16>;
+  FlagGuard G(M::ops::flat_fastpath());
+  for (bool Fast : {false, true}) {
+    M::ops::flat_fastpath() = Fast;
+    for (auto [Na, Nb, Overlap] : {std::tuple<size_t, size_t, size_t>{32, 32, 16},
+                                   {300, 200, 100},
+                                   {2000, 2000, 777}}) {
+      std::vector<std::pair<uint64_t, uint64_t>> A, B;
+      for (size_t I = 0; I < Na; ++I)
+        A.push_back({I, 1});
+      for (size_t I = Na - Overlap; I < Na - Overlap + Nb; ++I)
+        B.push_back({I, 2});
+      M MA(A), MB(B);
+      int64_t Calls = 0;
+      auto CountingPlus = [&Calls](uint64_t X, uint64_t Y) {
+        ++Calls;
+        return X + Y;
+      };
+      M U = M::map_union(MA, MB, CountingPlus);
+      ASSERT_EQ(Calls, static_cast<int64_t>(Overlap)) << "union fast=" << Fast;
+      ASSERT_EQ(U.size(), Na + Nb - Overlap);
+      ASSERT_EQ(*U.find(Na - Overlap), 3u);
+      Calls = 0;
+      M X = M::map_intersect(MA, MB, CountingPlus);
+      ASSERT_EQ(Calls, static_cast<int64_t>(Overlap))
+          << "intersect fast=" << Fast;
+      ASSERT_EQ(X.size(), Overlap);
+      Calls = 0;
+      M MI = MA.multi_insert(B, CountingPlus);
+      ASSERT_EQ(Calls, static_cast<int64_t>(Overlap))
+          << "multi_insert fast=" << Fast;
+      ASSERT_EQ(MI.to_vector(), U.to_vector());
+    }
+  }
+}
+
+/// Entry type proving the ownership discipline of the cursor paths: entries
+/// leave consumed (uniquely owned) blocks by move, never by copy, and
+/// shared blocks are copied exactly once per entry.
+struct Tracked {
+  uint64_t K = 0;
+  static int64_t Copies;
+  Tracked() = default;
+  explicit Tracked(uint64_t K) : K(K) {}
+  Tracked(const Tracked &O) : K(O.K) { ++Copies; }
+  Tracked(Tracked &&O) noexcept = default;
+  Tracked &operator=(const Tracked &O) {
+    K = O.K;
+    ++Copies;
+    return *this;
+  }
+  Tracked &operator=(Tracked &&O) noexcept = default;
+};
+int64_t Tracked::Copies = 0;
+
+struct TrackedEntry {
+  using key_t = uint64_t;
+  using val_t = no_aug;
+  using entry_t = Tracked;
+  using aug_t = no_aug;
+  static constexpr bool has_val = false;
+  static const key_t &get_key(const entry_t &E) { return E.K; }
+  static bool comp(const key_t &A, const key_t &B) { return A < B; }
+};
+
+TEST_F(FlatFastPath, ConsumedBlocksAreMovedNotCopied) {
+  using Ops = map_ops<TrackedEntry, raw_encoder, 8>;
+  FlagGuard G(Ops::flat_fastpath());
+  Ops::flat_fastpath() = true;
+  constexpr size_t N = 16; // One full leaf per side (B=8, 2B=16).
+  auto MakeLeaf = [](uint64_t First) {
+    std::vector<Tracked> A(N);
+    for (size_t I = 0; I < N; ++I)
+      A[I] = Tracked(First + 2 * I);
+    return Ops::from_array_move(A.data(), N);
+  };
+  {
+    // Unique operands: the whole union must happen by moves alone.
+    Ops::node_t *T1 = MakeLeaf(0), *T2 = MakeLeaf(1);
+    Tracked::Copies = 0;
+    Ops::node_t *U = Ops::union_(T1, T2, take_right());
+    EXPECT_EQ(Tracked::Copies, 0)
+        << "uniquely owned blocks must be consumed by move";
+    EXPECT_EQ(Ops::size(U), 2 * N);
+    Ops::dec(U);
+  }
+  {
+    // Shared operands: exactly one copy per entry (the decode), never two.
+    Ops::node_t *T1 = MakeLeaf(0), *T2 = MakeLeaf(1);
+    Ops::inc(T1);
+    Ops::inc(T2);
+    Tracked::Copies = 0;
+    Ops::node_t *U = Ops::union_(T1, T2, take_right());
+    EXPECT_EQ(Tracked::Copies, static_cast<int64_t>(2 * N))
+        << "shared blocks must be copied exactly once per entry";
+    EXPECT_EQ(Ops::size(U), 2 * N);
+    Ops::dec(U);
+    Ops::dec(T1);
+    Ops::dec(T2);
+  }
+}
+
+// Every flat-fastpath result must satisfy the Def. 4.1 invariants, across a
+// randomized mix of shapes and both settings.
+TEST_F(FlatFastPath, InvariantsHoldOnEveryFastPathResult) {
+  auto RunMix = [](auto SetTag, uint64_t Salt) {
+    using Set = decltype(SetTag);
+    FlagGuard G(Set::ops::flat_fastpath());
+    auto R = test::seeded_rng(Salt);
+    for (bool Fast : {false, true}) {
+      Set::ops::flat_fastpath() = Fast;
+      for (int Round = 0; Round < 25; ++Round) {
+        size_t Na = 1 + R.next(600), Nb = 1 + R.next(600);
+        std::vector<uint64_t> A(Na), B(Nb);
+        for (auto &K : A)
+          K = R.next(2000);
+        for (auto &K : B)
+          K = R.next(2000);
+        Set SA(A), SB(B);
+        for (Set Out : {Set::map_union(SA, SB), Set::map_intersect(SA, SB),
+                        Set::map_difference(SA, SB), SA.multi_insert(B),
+                        SA.multi_delete(B)}) {
+          ASSERT_EQ(Out.check_invariants(), "")
+              << "fast=" << Fast << " Na=" << Na << " Nb=" << Nb;
+        }
+      }
+    }
+  };
+  RunMix(pam_set<uint64_t, 4>(), 1);
+  RunMix(pam_set<uint64_t, 16>(), 2);
+  RunMix(pam_set<uint64_t, 128>(), 3);
+  RunMix(pam_set<uint64_t, 16, diff_encoder>(), 4);
+}
+
 // Cross-block-size agreement: all representations are views of the same
 // abstract set, so every operation must agree elementwise.
 TEST(CrossRepresentation, AllBlockSizesAgree) {
