@@ -85,15 +85,19 @@ inline std::string arg_str(int argc, char **argv, const char *Name) {
 /// operations per second).
 class JsonReport {
 public:
-  JsonReport(const char *Tool, size_t N, int Reps) {
-    char Buf[256];
+  /// \p ExtraConfig, when nonempty, is spliced verbatim into the config
+  /// object (e.g. "\"lockfree_sched\": true").
+  JsonReport(const char *Tool, size_t N, int Reps,
+             const std::string &ExtraConfig = std::string()) {
+    char Buf[384];
     std::snprintf(Buf, sizeof(Buf),
                   "  \"schema\": \"cpam-perf-v1\",\n"
                   "  \"tool\": \"%s\",\n"
                   "  \"config\": {\"threads\": %d, \"pool_alloc\": %s, "
-                  "\"n\": %zu, \"reps\": %d}",
+                  "\"n\": %zu, \"reps\": %d%s%s}",
                   Tool, par::num_workers(), pool_enabled() ? "true" : "false",
-                  N, Reps);
+                  N, Reps, ExtraConfig.empty() ? "" : ", ",
+                  ExtraConfig.c_str());
     Header = Buf;
   }
 

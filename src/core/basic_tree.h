@@ -59,10 +59,22 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
   /// fraction kAlphaNum/100. alpha <= 1 - 1/sqrt(2) as required for
   /// join-based rebalancing [Blelloch-Ferizovic-Sun].
   static constexpr size_t kAlphaNum = 29;
-  /// Subproblems at least this large fork in parallel. Tuned upward so
-  /// small-batch updates stay sequential (fork/steal latency dominates
-  /// below this size on mutex-deque schedulers).
-  static constexpr size_t kParGran = 8192;
+  /// Default fork granularity: subproblems at least this large fork in
+  /// parallel. 2048 entries of tree work (tens of microseconds) against a
+  /// ~19 ns lock-free push+reclaim cycle keeps fork overhead well under 1%
+  /// (bench_scheduler "fork_overhead" and the union/build/flatten grain
+  /// A/B rows in BENCH_PR4.json). The mutex-deque scheduler needed 8192
+  /// here — its fork cost measured 2.2x higher (42 ns) and degrades
+  /// further under thief contention.
+  static constexpr size_t kParGranDefault = 2048;
+
+  /// Runtime fork granularity. Mutable (single-threaded setup code only)
+  /// so bench_scheduler can A/B the retuned grain against the legacy 8192
+  /// in one binary; everything below reads it per fork decision.
+  static size_t &par_gran() {
+    static size_t G = kParGranDefault;
+    return G;
+  }
 
   /// Whether set-operation and splice base cases over flat blocks merge
   /// cursor-to-cursor (leaf_reader -> leaf_writer), skipping the temp_buf
@@ -258,7 +270,7 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     size_t Mid = N / 2;
     node_t *L = nullptr, *R = nullptr;
     par::par_do_if(
-        N >= kParGran, [&] { L = from_array_move(A, Mid); },
+        N >= par_gran(), [&] { L = from_array_move(A, Mid); },
         [&] { R = from_array_move(A + Mid + 1, N - Mid - 1); });
     return make_regular(L, std::move(A[Mid]), R);
   }
@@ -292,7 +304,7 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     size_t Ls = size(R->Left);
     Out[Ls] = R->E;
     par::par_do_if(
-        T->Size >= kParGran, [&] { to_array(R->Left, Out); },
+        T->Size >= par_gran(), [&] { to_array(R->Left, Out); },
         [&] { to_array(R->Right, Out + Ls + 1); });
   }
 

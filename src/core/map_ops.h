@@ -56,7 +56,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
   using TO::join2;
   using TO::kB;
   using TO::kBlocked;
-  using TO::kParGran;
+  using TO::par_gran;
   using TO::lower_bound_idx;
   using TO::node_join;
   using TO::size;
@@ -427,7 +427,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
                       : std::move(X.E);
     node_t *L = nullptr, *R = nullptr;
     par::par_do_if(
-        size(S.L) + size(X.L) >= kParGran,
+        size(S.L) + size(X.L) >= par_gran(),
         [&] { L = union_(S.L, X.L, Op); }, [&] { R = union_(S.R, X.R, Op); });
     return join(L, std::move(Mid), R);
   }
@@ -482,7 +482,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
             : std::nullopt;
     node_t *L = nullptr, *R = nullptr;
     par::par_do_if(
-        size(S.L) + size(X.L) >= kParGran,
+        size(S.L) + size(X.L) >= par_gran(),
         [&] { L = intersect(S.L, X.L, Op); },
         [&] { R = intersect(S.R, X.R, Op); });
     if (Mid)
@@ -529,7 +529,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     split_t S = split(T1, entry_key(X.E));
     node_t *L = nullptr, *R = nullptr;
     par::par_do_if(
-        size(S.L) + size(X.L) >= kParGran,
+        size(S.L) + size(X.L) >= par_gran(),
         [&] { L = difference(S.L, X.L); }, [&] { R = difference(S.R, X.R); });
     return join2(L, R);
   }
@@ -605,7 +605,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
                       : std::move(X.E);
     node_t *L = nullptr, *R = nullptr;
     par::par_do_if(
-        size(X.L) + size(X.R) + N >= kParGran,
+        size(X.L) + size(X.R) + N >= par_gran(),
         [&] { L = multi_insert_sorted(X.L, A, S, Op); },
         [&] {
           R = multi_insert_sorted(X.R, A + S + Dup, N - S - Dup, Op);
@@ -667,7 +667,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     bool Hit = S < N && !key_less(entry_key(X.E), A[S]);
     node_t *L = nullptr, *R = nullptr;
     par::par_do_if(
-        size(X.L) + size(X.R) >= kParGran,
+        size(X.L) + size(X.R) >= par_gran(),
         [&] { L = multi_delete_sorted(X.L, A, S); },
         [&] { R = multi_delete_sorted(X.R, A + S + Hit, N - S - Hit); });
     if (Hit)
@@ -685,6 +685,20 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return nullptr;
     if (is_flat(T)) {
       size_t N = T->Size;
+      if (flat_fastpath() && TO::flat_merge_wins(N)) {
+        // Stream the block through the cursor pair: each kept entry is
+        // decoded once on its way out, nothing is materialized for the
+        // dropped ones (|result| <= |T| <= 2B always fits one leaf).
+        leaf_writer W(N);
+        leaf_reader C(T);
+        while (!C.done()) {
+          if (P(C.peek()))
+            W.push(C.take());
+          else
+            C.skip();
+        }
+        return W.finish();
+      }
       temp_buf Buf(N), Out(N);
       flatten(T, Buf.data());
       Buf.set_count(N);
@@ -701,7 +715,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     exposed X = expose(T);
     node_t *L = nullptr, *R = nullptr;
     par::par_do_if(
-        size(X.L) + size(X.R) >= kParGran, [&] { L = filter(X.L, P); },
+        size(X.L) + size(X.R) >= par_gran(), [&] { L = filter(X.L, P); },
         [&] { R = filter(X.R, P); });
     if (P(X.E))
       return join(L, std::move(X.E), R);
@@ -716,6 +730,18 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return nullptr;
     if (is_flat(T)) {
       size_t N = T->Size;
+      if (flat_fastpath() && TO::flat_merge_wins(N)) {
+        // Keys pass through untouched (still strictly increasing, as the
+        // byte-coded write cursors require); only values are rewritten.
+        leaf_writer W(N);
+        leaf_reader C(T);
+        while (!C.done()) {
+          entry_t E = C.take();
+          Entry::get_val(E) = f(E);
+          W.push(std::move(E));
+        }
+        return W.finish();
+      }
       temp_buf Buf(N);
       flatten(T, Buf.data());
       Buf.set_count(N);
@@ -726,7 +752,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     exposed X = expose(T);
     node_t *L = nullptr, *R = nullptr;
     par::par_do_if(
-        size(X.L) + size(X.R) >= kParGran, [&] { L = map_values(X.L, f); },
+        size(X.L) + size(X.R) >= par_gran(), [&] { L = map_values(X.L, f); },
         [&] { R = map_values(X.R, f); });
     Entry::get_val(X.E) = f(X.E);
     return node_join(L, std::move(X.E), R);
@@ -752,7 +778,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     const auto *R = static_cast<const typename NL::regular_t *>(T);
     T2 A = Identity, B = Identity;
     par::par_do_if(
-        T->Size >= kParGran,
+        T->Size >= par_gran(),
         [&] { A = map_reduce(R->Left, f, Identity, Cmb); },
         [&] { B = map_reduce(R->Right, f, Identity, Cmb); });
     return Cmb(Cmb(A, f(R->E)), B);
@@ -791,7 +817,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     size_t Ls = size(R->Left);
     f(Offset + Ls, R->E);
     par::par_do_if(
-        T->Size >= kParGran, [&] { foreach_index(R->Left, f, Offset); },
+        T->Size >= par_gran(), [&] { foreach_index(R->Left, f, Offset); },
         [&] { foreach_index(R->Right, f, Offset + Ls + 1); });
   }
 

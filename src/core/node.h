@@ -50,8 +50,18 @@ struct node_layer {
 
   static constexpr size_t kB = BlockSizeB;
   static constexpr bool kBlocked = BlockSizeB > 0;
-  /// Subtrees at least this large are destructed in parallel.
-  static constexpr size_t kParallelGc = 4096;
+  /// Default granularity for parallel destruction/flatten/traversal of
+  /// subtrees. Halved from 4096 when the scheduler moved to lock-free
+  /// Chase-Lev deques (a fork now costs ~19 ns; see BENCH_PR4.json).
+  static constexpr size_t kGcGranDefault = 2048;
+
+  /// Runtime granularity for the node-layer parallel walks (dec, flatten,
+  /// build_expanded, size_in_bytes, node_count). Mutable for the grain A/B
+  /// benchmarks (single-threaded setup code only).
+  static size_t &par_gc_gran() {
+    static size_t G = kGcGranDefault;
+    return G;
+  }
 
   //===--------------------------------------------------------------------===
   // Node layouts.
@@ -157,7 +167,7 @@ struct node_layer {
     regular_t *R = static_cast<regular_t *>(T);
     node_t *L = R->Left, *Rt = R->Right;
     free_regular_shell(R);
-    par::par_do_if(size(L) + size(Rt) >= kParallelGc, [&] { dec(L); },
+    par::par_do_if(size(L) + size(Rt) >= par_gc_gran(), [&] { dec(L); },
                    [&] { dec(Rt); });
   }
 
@@ -319,7 +329,7 @@ struct node_layer {
     // The two halves write disjoint output ranges, so large subtrees fork
     // (this is what keeps oversized flatten-and-merge base cases — e.g. the
     // ablation study's large-kappa configurations — from serializing).
-    par::par_do_if(N >= kParallelGc, [&] { flatten(L, Out); },
+    par::par_do_if(N >= par_gc_gran(), [&] { flatten(L, Out); },
                    [&] { flatten(Rt, Out + Ls + 1); });
     return N;
   }
@@ -333,7 +343,7 @@ struct node_layer {
     size_t Mid = N / 2;
     node_t *L = nullptr, *R = nullptr;
     par::par_do_if(
-        N >= kParallelGc, [&] { L = build_expanded(A, Mid); },
+        N >= par_gc_gran(), [&] { L = build_expanded(A, Mid); },
         [&] { R = build_expanded(A + Mid + 1, N - Mid - 1); });
     return make_regular(L, std::move(A[Mid]), R);
   }
@@ -362,7 +372,7 @@ struct node_layer {
       return kPayloadOffset + static_cast<const flat_t *>(T)->Bytes;
     const regular_t *R = static_cast<const regular_t *>(T);
     size_t SL = 0, SR = 0;
-    par::par_do_if(T->Size >= kParallelGc,
+    par::par_do_if(T->Size >= par_gc_gran(),
                    [&] { SL = size_in_bytes(R->Left); },
                    [&] { SR = size_in_bytes(R->Right); });
     return sizeof(regular_t) + SL + SR;
@@ -376,7 +386,7 @@ struct node_layer {
       return 1;
     const regular_t *R = static_cast<const regular_t *>(T);
     size_t CL = 0, CR = 0;
-    par::par_do_if(T->Size >= kParallelGc,
+    par::par_do_if(T->Size >= par_gc_gran(),
                    [&] { CL = node_count(R->Left); },
                    [&] { CR = node_count(R->Right); });
     return 1 + CL + CR;

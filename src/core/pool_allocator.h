@@ -143,7 +143,9 @@ public:
     int C = size_class(Bytes);
     if (C < 0)
       return ::operator new(Bytes, std::align_val_t(16));
-    LocalClass &L = local().Classes[C];
+    LocalCache &LC = local();
+    LocalClass &L = LC.Classes[C];
+    par::counter_bump(LC.Stats[C].Allocs);
     while (true) {
       if (L.Head) {
         FreeBlock *B = L.Head;
@@ -159,7 +161,7 @@ public:
         L.Bump += class_bytes(C);
         return P;
       }
-      refill(C, L);
+      refill(C, L, LC.Stats[C]);
     }
   }
 
@@ -170,12 +172,16 @@ public:
       ::operator delete(P, std::align_val_t(16));
       return;
     }
-    LocalClass &L = local().Classes[C];
+    LocalCache &LC = local();
+    LocalClass &L = LC.Classes[C];
+    par::counter_bump(LC.Stats[C].Frees);
     FreeBlock *B = static_cast<FreeBlock *>(P);
     B->Next = L.Head;
     L.Head = B;
-    if (++L.Count >= 2 * batch_blocks(C))
+    if (++L.Count >= 2 * batch_blocks(C)) {
+      par::counter_bump(LC.Stats[C].DrainBatches);
       drain(C, L);
+    }
   }
 
   //===--------------------------------------------------------------------===
@@ -203,9 +209,63 @@ public:
   /// Free blocks of class \p C on the calling thread's local list.
   static size_t local_free_blocks(int C) { return local().Classes[C].Count; }
 
+  /// Per-size-class occupancy telemetry, summed over all threads (live and
+  /// exited). Counters count *events* (tree_alloc/tree_free calls routed to
+  /// the class and batch/slab exchanges), not residency: when the process
+  /// is quiescent and every tree has been destroyed, Allocs == Frees per
+  /// class, while Allocs - Frees is the class's live-block count at any
+  /// snapshot. RefillBatches/DrainBatches are the global-pool exchange
+  /// traffic — the data from which kBatchBytes should be sized (a high
+  /// exchange rate relative to Allocs means batches are too small) — and
+  /// SlabCarves counts fresh memory taken from the heap. Exact when
+  /// quiescent, approximate (per-thread relaxed counters) under load.
+  struct class_stats {
+    size_t BlockBytes = 0;       ///< Usable bytes of the class.
+    uint64_t Allocs = 0;         ///< Pool allocations served.
+    uint64_t Frees = 0;          ///< Blocks returned to the pool.
+    uint64_t RefillBatches = 0;  ///< Batches taken from the global pool.
+    uint64_t DrainBatches = 0;   ///< Batches pushed to the global pool.
+    uint64_t SlabCarves = 0;     ///< Fresh slabs carved from the heap.
+  };
+
+  /// Snapshot of the per-class telemetry (index = size-class id).
+  static std::array<class_stats, kNumClasses> stats() {
+    std::array<class_stats, kNumClasses> Out{};
+    for (size_t C = 0; C < kNumClasses; ++C)
+      Out[C].BlockBytes = class_bytes(static_cast<int>(C));
+    GlobalPool &G = global();
+    std::lock_guard<std::mutex> Lock(G.StatsM);
+    auto Accum = [&Out](const LocalStats *S) {
+      for (size_t C = 0; C < kNumClasses; ++C) {
+        Out[C].Allocs += S[C].Allocs.load(std::memory_order_relaxed);
+        Out[C].Frees += S[C].Frees.load(std::memory_order_relaxed);
+        Out[C].RefillBatches +=
+            S[C].RefillBatches.load(std::memory_order_relaxed);
+        Out[C].DrainBatches +=
+            S[C].DrainBatches.load(std::memory_order_relaxed);
+        Out[C].SlabCarves += S[C].SlabCarves.load(std::memory_order_relaxed);
+      }
+    };
+    Accum(G.DeadStats);
+    for (const LocalStats *S : G.LiveStats)
+      Accum(S);
+    return Out;
+  }
+
 private:
   struct FreeBlock {
     FreeBlock *Next;
+  };
+
+  /// Per-thread, per-class event counters. Written only by the owning
+  /// thread via par::counter_bump; read relaxed by stats() snapshots from
+  /// any thread.
+  struct LocalStats {
+    std::atomic<uint64_t> Allocs{0};
+    std::atomic<uint64_t> Frees{0};
+    std::atomic<uint64_t> RefillBatches{0};
+    std::atomic<uint64_t> DrainBatches{0};
+    std::atomic<uint64_t> SlabCarves{0};
   };
   struct Batch {
     FreeBlock *Head;
@@ -235,6 +295,11 @@ private:
     std::mutex SlabM;
     std::vector<void *> Slabs; // Keeps slabs LSan-reachable; never freed.
     std::atomic<int64_t> SlabBytes{0};
+    /// Telemetry registry: live threads' counter blocks plus the
+    /// accumulated counters of exited threads.
+    std::mutex StatsM;
+    std::vector<const LocalStats *> LiveStats;
+    LocalStats DeadStats[kNumClasses];
   };
 
   /// The global pool is allocated once and never destroyed: thread-local
@@ -256,6 +321,12 @@ private:
 
   struct LocalCache {
     LocalClass Classes[kNumClasses] = {};
+    LocalStats Stats[kNumClasses] = {};
+    LocalCache() {
+      GlobalPool &G = global();
+      std::lock_guard<std::mutex> Lock(G.StatsM);
+      G.LiveStats.push_back(Stats);
+    }
     ~LocalCache() {
       // Return everything — including the unconsumed bump-slab tail, which
       // would otherwise be stranded forever by short-lived allocating
@@ -276,6 +347,24 @@ private:
         L.Head = nullptr;
         L.Count = 0;
       }
+      // Fold this thread's counters into the dead-thread accumulator and
+      // drop out of the live registry so stats() stays exact after exit.
+      GlobalPool &G = global();
+      std::lock_guard<std::mutex> Lock(G.StatsM);
+      for (size_t C = 0; C < kNumClasses; ++C) {
+        auto Fold = [](std::atomic<uint64_t> &Dst,
+                       const std::atomic<uint64_t> &Src) {
+          Dst.fetch_add(Src.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+        };
+        Fold(G.DeadStats[C].Allocs, Stats[C].Allocs);
+        Fold(G.DeadStats[C].Frees, Stats[C].Frees);
+        Fold(G.DeadStats[C].RefillBatches, Stats[C].RefillBatches);
+        Fold(G.DeadStats[C].DrainBatches, Stats[C].DrainBatches);
+        Fold(G.DeadStats[C].SlabCarves, Stats[C].SlabCarves);
+      }
+      G.LiveStats.erase(
+          std::find(G.LiveStats.begin(), G.LiveStats.end(), Stats));
     }
   };
 
@@ -297,7 +386,7 @@ private:
 
   /// Refills \p L with one batch: from the global pool if any stripe has
   /// one, otherwise by carving a fresh slab from the heap.
-  static void refill(int C, LocalClass &L) {
+  static void refill(int C, LocalClass &L, LocalStats &St) {
     GlobalPool &G = global();
     size_t Home = home_stripe();
     for (size_t I = 0; I < kStripes; ++I) {
@@ -310,8 +399,10 @@ private:
       S.Batches.pop_back();
       L.Head = B.Head;
       L.Count = B.Count;
+      par::counter_bump(St.RefillBatches);
       return;
     }
+    par::counter_bump(St.SlabCarves);
     // Carve a new slab, consumed by bump allocation (any bump tail left
     // over from a previous slab of this class is abandoned to that slab —
     // at most one batch of reserved-but-unused bytes per thread per class).

@@ -35,7 +35,7 @@ struct seq_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
   using TO::is_flat;
   using TO::join;
   using TO::join2;
-  using TO::kParGran;
+  using TO::par_gran;
   using TO::size;
 
   /// Element at position \p I (0-based). O(log n + B) work.
@@ -151,6 +151,19 @@ struct seq_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return nullptr;
     if (is_flat(T)) {
       size_t N = T->Size;
+      if (TO::flat_fastpath()) {
+        // Stream the block through the cursor pair (same discipline as
+        // split_at above): each element is decoded once, transformed, and
+        // pushed straight into the result leaf.
+        typename TO::leaf_reader C(T);
+        typename TO::leaf_writer W(N);
+        while (!C.done()) {
+          entry_t E = C.take();
+          E = f(E);
+          W.push(std::move(E));
+        }
+        return W.finish();
+      }
       temp_buf Buf(N);
       flatten(T, Buf.data());
       Buf.set_count(N);
@@ -161,7 +174,7 @@ struct seq_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     exposed X = expose(T);
     node_t *L = nullptr, *R = nullptr;
     par::par_do_if(
-        size(X.L) + size(X.R) >= kParGran, [&] { L = map(X.L, f); },
+        size(X.L) + size(X.R) >= par_gran(), [&] { L = map(X.L, f); },
         [&] { R = map(X.R, f); });
     return TO::node_join(L, f(X.E), R);
   }
@@ -185,7 +198,7 @@ struct seq_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     const auto *R = static_cast<const typename NL::regular_t *>(T);
     T2 A = Identity, B = Identity;
     par::par_do_if(
-        T->Size >= kParGran,
+        T->Size >= par_gran(),
         [&] { A = map_reduce(R->Left, f, Identity, Cmb); },
         [&] { B = map_reduce(R->Right, f, Identity, Cmb); });
     return Cmb(Cmb(A, f(R->E)), B);
@@ -221,7 +234,7 @@ struct seq_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     exposed X = expose(T);
     node_t *L = nullptr, *R = nullptr;
     par::par_do_if(
-        size(X.L) + size(X.R) >= kParGran, [&] { L = filter(X.L, P); },
+        size(X.L) + size(X.R) >= par_gran(), [&] { L = filter(X.L, P); },
         [&] { R = filter(X.R, P); });
     if (P(X.E))
       return join(L, std::move(X.E), R);

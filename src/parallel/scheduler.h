@@ -6,13 +6,29 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A minimal work-stealing fork-join scheduler in the style of ParlayLib,
-/// which the original CPAM uses as its parallel substrate. The model is
-/// binary forking: parDo(f1, f2) runs the two thunks, possibly in parallel,
-/// and returns only when both are complete. Tasks are allocated on the
-/// forking thread's stack; a per-worker deque holds pending right-hand
-/// branches, and idle workers steal from the front (oldest, hence largest)
-/// end of a random victim's deque.
+/// A work-stealing fork-join scheduler in the style of ParlayLib, which the
+/// original CPAM uses as its parallel substrate. The model is binary
+/// forking: parDo(f1, f2) runs the two thunks, possibly in parallel, and
+/// returns only when both are complete. Tasks are allocated on the forking
+/// thread's stack; a per-worker deque holds pending right-hand branches,
+/// and idle workers steal from the top (oldest, hence largest) end of a
+/// random victim's deque.
+///
+/// Two interchangeable deque implementations are compiled in:
+///
+///  - *Lock-free* (default): the Chase-Lev deque of src/parallel/chase_lev.h
+///    — owner push/pop without locked instructions on the fast path, steals
+///    via one CAS. Idle workers spin briefly with exponential backoff, then
+///    park on a condition variable; a push wakes them (see the memory-order
+///    contract in README "Parallel runtime"), so an idle process costs ~0
+///    CPU.
+///  - *Mutex* (legacy fallback): a std::mutex + std::deque pair per worker.
+///
+/// The CMake option CPAM_LOCKFREE_SCHED selects the compile-time default;
+/// the environment variable CPAM_LOCKFREE_SCHED (0/1), read once when the
+/// pool is created, overrides it at runtime. Both paths share the worker
+/// loop, the parking protocol and the telemetry, so A/B runs differ only in
+/// the deque operations themselves.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,14 +37,35 @@
 
 #include <atomic>
 #include <cassert>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/parallel/chase_lev.h"
+
+/// Build-time default for the lock-free scheduler (see file header). Both
+/// deque implementations are always compiled; this only picks which one a
+/// fresh pool uses when the CPAM_LOCKFREE_SCHED environment variable is
+/// absent.
+#ifndef CPAM_LOCKFREE_SCHED
+#define CPAM_LOCKFREE_SCHED 1
+#endif
+
 namespace cpam {
 namespace par {
+
+/// Single-writer relaxed counter increment: the counter is written by
+/// exactly one thread, so the unsynchronized load+store compiles to a
+/// plain increment (no locked RMW); snapshot readers load it relaxed from
+/// other threads. Shared by the scheduler's and the pool allocator's
+/// telemetry.
+inline void counter_bump(std::atomic<uint64_t> &C) {
+  C.store(C.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
 
 /// A unit of work produced by a fork. The task object lives on the forking
 /// thread's stack; the forker does not return from parDo until the task has
@@ -36,10 +73,20 @@ namespace par {
 struct Task {
   void (*Run)(void *Env) = nullptr;
   void *Env = nullptr;
-  /// Set (under the owning deque's lock) when some thread claims the task.
-  bool Taken = false;
   /// Set with release semantics when the task body has finished.
   std::atomic<bool> Done{false};
+};
+
+/// Aggregated scheduler telemetry (see par::scheduler_stats()). Counters
+/// are summed over per-worker relaxed counters, so a snapshot taken while
+/// workers are active is approximate; quiescent snapshots are exact.
+struct SchedulerStats {
+  uint64_t Forks = 0;          ///< Tasks pushed by parDo.
+  uint64_t InlineReclaims = 0; ///< Forked tasks popped back un-stolen.
+  uint64_t Steals = 0;         ///< Successful steals.
+  uint64_t FailedSteals = 0;   ///< Steal attempts finding empty/losing CAS.
+  uint64_t Parks = 0;          ///< Times a worker blocked on the condvar.
+  uint64_t Wakes = 0;          ///< Wake signals issued by pushes.
 };
 
 /// The process-wide scheduler. The first thread to touch the scheduler
@@ -56,6 +103,14 @@ public:
   Scheduler &operator=(const Scheduler &) = delete;
 
   int numWorkers() const { return NumWorkers; }
+
+  /// True when this pool runs on the lock-free Chase-Lev deques.
+  bool lockfree() const { return UseLockfree; }
+
+  /// Telemetry snapshot, summed across workers.
+  SchedulerStats stats() const;
+  /// Zeroes all telemetry counters (quiescent use only).
+  void statsReset();
 
   /// Returns the calling thread's worker id, or -1 for non-pool threads.
   static int workerId();
@@ -79,9 +134,12 @@ public:
   /// Runs \p f1 and \p f2 to completion, potentially in parallel.
   template <class F1, class F2> void parDo(F1 &&f1, F2 &&f2) {
     int Id = workerId();
-    if (Id < 0 || sequentialMode().load(std::memory_order_relaxed)) {
-      // Not a pool thread (e.g. a user-spawned std::thread): degrade to
-      // sequential execution, which is always correct.
+    if (Id < 0 || NumWorkers == 1 ||
+        sequentialMode().load(std::memory_order_relaxed)) {
+      // Not a pool thread (a user-spawned std::thread), or a single-worker
+      // pool — where no thief exists, so every fork would be reclaimed
+      // inline anyway: degrade to sequential execution, which is always
+      // correct and skips the deque entirely.
       f1();
       f2();
       return;
@@ -99,22 +157,53 @@ public:
   }
 
 private:
+  /// Legacy mutex-guarded deque. ApproxSize mirrors Q.size() so the park
+  /// path can scan for work without taking every lock.
   struct WorkDeque {
     std::mutex M;
     std::deque<Task *> Q;
+    std::atomic<size_t> ApproxSize{0};
+  };
+
+  /// Per-worker telemetry, incremented via counter_bump (each counter is
+  /// written by exactly one worker); the snapshot reads them relaxed from
+  /// any thread.
+  struct alignas(64) WorkerStats {
+    std::atomic<uint64_t> Forks{0};
+    std::atomic<uint64_t> InlineReclaims{0};
+    std::atomic<uint64_t> Steals{0};
+    std::atomic<uint64_t> FailedSteals{0};
+    std::atomic<uint64_t> Parks{0};
+    std::atomic<uint64_t> Wakes{0};
   };
 
   Scheduler();
 
+  /// Appends \p T to worker \p Id's deque and wakes a parked worker if any.
   void push(int Id, Task *T);
-  /// Removes \p T from worker \p Id's deque if nobody has claimed it yet.
+  /// Pops worker \p Id's newest task if it is \p T. By the LIFO fork-join
+  /// discipline (and because helping steals from deque *tops* only), the
+  /// bottom of the owner's deque at reclaim time is either \p T itself or
+  /// nothing of this frame: every task pushed after T has completed, and T
+  /// can only have been claimed after everything older was stolen too.
   bool tryReclaim(int Id, Task *T);
-  /// Runs other pending tasks until \p T completes.
+  /// Runs stolen tasks until \p T completes. Steals only (never pops the
+  /// own deque's bottom, which would break the tryReclaim invariant of
+  /// enclosing frames); the waiter's own deque is one of the victims.
   void waitHelping(int Id, Task *T);
-  /// Pops the newest task from the caller's own deque.
-  Task *popOwn(int Id);
-  /// Steals the oldest task from a random victim.
+  /// One steal attempt against a random victim (possibly the caller's own
+  /// deque top). Returns nullptr on failure.
   Task *steal(int Id);
+  /// True if any deque looks non-empty (approximate; park-path use only).
+  bool hasWork() const;
+  /// Blocks until a push signals, the backstop timeout elapses, or the
+  /// pool shuts down. Registers via NumParked, fences, then re-scans for
+  /// work before sleeping; the timed backstop bounds the one store-load
+  /// reordering window the fence-free push side leaves open.
+  void park(int Id);
+  /// Wakes one parked worker if there is one. Called after every push;
+  /// fence-free by design (best-effort, backstopped — see scheduler.cpp).
+  void unparkOne(int Id);
   void workerLoop(int Id);
   static void runTask(Task *T) {
     T->Run(T->Env);
@@ -122,10 +211,19 @@ private:
   }
 
   int NumWorkers;
-  std::vector<WorkDeque> Deques;
+  bool UseLockfree;
+  std::vector<WorkDeque> MDeques;             // Mutex path.
+  std::vector<chase_lev_deque<Task *>> LFDeques; // Lock-free path.
+  std::vector<WorkerStats> Stats;
   std::vector<std::thread> Threads;
   std::atomic<bool> Stop{false};
-  std::atomic<int> NumIdle{0};
+
+  // Elastic parking state. WakeEpoch is guarded by ParkM; NumParked is the
+  // lock-free fast-path hint pushes read (zero while the pool is busy).
+  std::atomic<int> NumParked{0};
+  std::mutex ParkM;
+  std::condition_variable ParkCV;
+  uint64_t WakeEpoch = 0;
 };
 
 /// Number of worker threads (reads CPAM_NUM_THREADS, defaulting to the
@@ -143,6 +241,19 @@ inline int thread_slot() { return Scheduler::threadSlot(); }
 inline void set_sequential(bool Seq) {
   Scheduler::sequentialMode().store(Seq, std::memory_order_relaxed);
 }
+
+/// True when the pool runs on the lock-free Chase-Lev deques (compile
+/// default CPAM_LOCKFREE_SCHED, overridable by the environment variable of
+/// the same name, both read once at pool creation).
+inline bool lockfree_sched() { return Scheduler::get().lockfree(); }
+
+/// Scheduler telemetry snapshot (forks, inline reclaims, steals, failed
+/// steals, parks, wakes) summed across workers. Approximate while workers
+/// are active; exact when quiescent.
+inline SchedulerStats scheduler_stats() { return Scheduler::get().stats(); }
+
+/// Zeroes the scheduler telemetry (call while quiescent).
+inline void scheduler_stats_reset() { Scheduler::get().statsReset(); }
 
 /// Fork-join: run both thunks, potentially in parallel.
 template <class F1, class F2> void par_do(F1 &&f1, F2 &&f2) {
@@ -174,16 +285,41 @@ void parallel_for_rec(size_t Lo, size_t Hi, const F &f, size_t Gran) {
 }
 } // namespace detail
 
+/// Anchor for parallel_for's default chunking: one lock-free fork-join
+/// cycle (push + reclaim, the "fork_overhead" row of bench_scheduler —
+/// 19.3 ns with a live thief on the reference container, vs 42.1 ns on
+/// the mutex deques it replaced; BENCH_PR4.json) costs at most
+/// kForkCostIters iterations of a trivial loop body (~1 ns each) even
+/// allowing for steal-traffic inflation. Both derived constants below are
+/// justified in these units.
+inline constexpr size_t kForkCostIters = 64;
+
+/// Largest chunk parallel_for runs sequentially: at 16 * kForkCostIters
+/// iterations per fork, scheduling overhead is bounded by ~1/16 (~6%) even
+/// for the cheapest possible bodies — and by measurement forks come in
+/// ~3x under the kForkCostIters bound, so the real ceiling is ~2%. The
+/// cap sat at 2048 when each fork paid two mutex round trips; the
+/// lock-free fork cost halves the break-even chunk.
+inline constexpr size_t kParallelForMaxGrain = 16 * kForkCostIters;
+
+/// Chunks per worker when the range is small enough that the grain cap is
+/// not reached: 8-way oversubscription bounds load imbalance from uneven
+/// chunk runtimes at ~1/8 of a worker's share while adding at most
+/// 8 * num_workers forks — noise at lock-free fork cost.
+inline constexpr size_t kParallelForOversub = 8;
+
 /// Parallel loop over [Lo, Hi). \p Gran is the largest chunk executed
-/// sequentially; 0 picks a default based on the range size and worker count.
+/// sequentially; 0 picks a default based on the range size and worker count
+/// (see the constants above).
 template <class F>
 void parallel_for(size_t Lo, size_t Hi, const F &f, size_t Gran = 0) {
   if (Lo >= Hi)
     return;
   size_t N = Hi - Lo;
   if (Gran == 0) {
-    size_t PerWorker = N / (8 * static_cast<size_t>(num_workers()) + 1);
-    Gran = std::max<size_t>(1, std::min<size_t>(2048, PerWorker));
+    size_t PerWorker =
+        N / (kParallelForOversub * static_cast<size_t>(num_workers()) + 1);
+    Gran = std::max<size_t>(1, std::min(kParallelForMaxGrain, PerWorker));
   }
   if (N <= Gran) {
     for (size_t I = Lo; I < Hi; ++I)

@@ -368,4 +368,53 @@ TEST_F(AllocatorTest, SetOpChurnQuiescentExact) {
   EXPECT_EQ(D.size(), A.size() - I.size());
 }
 
+TEST_F(AllocatorTest, PerClassTelemetryBalancesWhenQuiescent) {
+  if constexpr (!pool_enabled())
+    GTEST_SKIP() << "pool telemetry only exists in pooled mode";
+  else {
+    auto Before = pool_allocator::stats();
+    {
+      // A build/destroy cycle heavy enough to cross the drain threshold of
+      // the regular-node class and force global-pool round trips.
+      using Map = pam_map<uint64_t, uint64_t, 0>; // B=0: one node per entry.
+      std::vector<Map::entry_t> E(50000);
+      for (size_t I = 0; I < E.size(); ++I)
+        E[I] = {I, I};
+      for (int Round = 0; Round < 3; ++Round) {
+        Map M = Map::from_sorted(E);
+        EXPECT_EQ(M.size(), E.size());
+      }
+    }
+    auto After = pool_allocator::stats();
+    uint64_t TotalAllocs = 0;
+    for (size_t C = 0; C < pool_allocator::kNumClasses; ++C) {
+      uint64_t DA = After[C].Allocs - Before[C].Allocs;
+      uint64_t DF = After[C].Frees - Before[C].Frees;
+      // Everything built in this test was destroyed: per class, allocation
+      // and free *events* must balance exactly (residency in the free
+      // lists does not affect the counters).
+      EXPECT_EQ(DA, DF) << "class " << C << " (" << After[C].BlockBytes
+                        << " B)";
+      TotalAllocs += DA;
+      // Exchange traffic only makes sense where traffic happened.
+      if (DA == 0) {
+        EXPECT_EQ(After[C].RefillBatches, Before[C].RefillBatches);
+        EXPECT_EQ(After[C].DrainBatches, Before[C].DrainBatches);
+      }
+    }
+    // 3 rounds x 50000 single-entry nodes dominate everything else here.
+    EXPECT_GE(TotalAllocs, 150000u);
+    // The build/teardown cycles must have recycled through the pool, not
+    // carved fresh slabs every round: round 2+ should be served mostly by
+    // refills of round 1's drained batches.
+    uint64_t Carves = 0, Refills = 0;
+    for (size_t C = 0; C < pool_allocator::kNumClasses; ++C) {
+      Carves += After[C].SlabCarves - Before[C].SlabCarves;
+      Refills += After[C].RefillBatches - Before[C].RefillBatches;
+    }
+    EXPECT_GT(Refills, 0u);
+    EXPECT_GT(Carves, 0u);
+  }
+}
+
 } // namespace

@@ -95,7 +95,7 @@ template <class MapT> void runMapEpisode(Rng R) {
   MapT M;
   Oracle O;
   for (int Step = 0; Step < kSteps; ++Step) {
-    switch (R.next(8)) {
+    switch (R.next(10)) {
     case 0: { // Point insert (combine +).
       uint64_t K = R.next(kUniverse), V = R.next(1u << 16);
       M.insert_inplace(typename MapT::entry_t(K, V), Plus);
@@ -171,6 +171,27 @@ template <class MapT> void runMapEpisode(Rng R) {
       for (uint64_t K : Keys)
         O.erase(K);
       checkAgainstOracle(M, O, "multi_delete");
+      break;
+    }
+    case 7: { // filter on a key+value predicate (cursor flat base case).
+      uint64_t Mod = 2 + R.next(5);
+      M = M.filter(
+          [Mod](const auto &E) { return (E.first + E.second) % Mod != 0; });
+      Oracle Kept;
+      for (const auto &[K, V] : O)
+        if ((K + V) % Mod != 0)
+          Kept.emplace(K, V);
+      O = std::move(Kept);
+      checkAgainstOracle(M, O, "filter");
+      break;
+    }
+    case 8: { // map_values (cursor flat base case; keys pass through).
+      uint64_t Add = R.next(1u << 10);
+      M = M.map_values(
+          [Add](const auto &E) { return E.second * 2 + Add; });
+      for (auto &KV : O)
+        KV.second = KV.second * 2 + Add;
+      checkAgainstOracle(M, O, "map_values");
       break;
     }
     default: { // Rebuild from scratch occasionally (fresh tree shapes).

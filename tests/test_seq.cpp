@@ -130,6 +130,28 @@ TYPED_TEST(SeqTest, MapFilterReduce) {
   EXPECT_EQ(Max, 4999u);
 }
 
+TYPED_TEST(SeqTest, MapMatchesVectorBothFastPathSettings) {
+  // seq map's flat base case streams through the encoder cursors when the
+  // fast path is on and round-trips through temp_buf when it is off; both
+  // must agree with the plain vector transform, element for element.
+  test::FlagGuard G(TypeParam::ops::flat_fastpath());
+  auto R = test::seeded_rng();
+  std::vector<uint64_t> V(3000);
+  for (auto &X : V)
+    X = R.next(1u << 20);
+  std::vector<uint64_t> Want(V.size());
+  for (size_t I = 0; I < V.size(); ++I)
+    Want[I] = V[I] * 7 + 3;
+  for (bool Fast : {false, true}) {
+    TypeParam::ops::flat_fastpath() = Fast;
+    TypeParam S(V);
+    TypeParam M = S.map([](uint64_t X) { return X * 7 + 3; });
+    ASSERT_EQ(M.size(), V.size()) << "fastpath=" << Fast;
+    std::vector<uint64_t> Got = M.to_vector();
+    ASSERT_EQ(Got, Want) << "fastpath=" << Fast;
+  }
+}
+
 TYPED_TEST(SeqTest, FindFirst) {
   std::vector<uint64_t> V(10000, 1);
   V[7777] = 42;
