@@ -119,6 +119,12 @@ public:
     Rows.push_back(Buf);
   }
 
+  /// Adds an extra top-level section: \p JsonValue is spliced verbatim as
+  /// the value of key \p Name (e.g. the pool-allocator telemetry array).
+  void add_section(const char *Name, const std::string &JsonValue) {
+    Sections.push_back(std::string("  \"") + Name + "\": " + JsonValue);
+  }
+
   /// Writes the document to \p Path; no-op when Path is empty.
   void write(const std::string &Path) const {
     if (Path.empty())
@@ -128,7 +134,10 @@ public:
       std::fprintf(stderr, "cannot write %s\n", Path.c_str());
       return;
     }
-    std::fprintf(F, "{\n%s,\n  \"results\": [\n", Header.c_str());
+    std::fprintf(F, "{\n%s,\n", Header.c_str());
+    for (const std::string &S : Sections)
+      std::fprintf(F, "%s,\n", S.c_str());
+    std::fprintf(F, "  \"results\": [\n");
     for (size_t I = 0; I < Rows.size(); ++I)
       std::fprintf(F, "%s%s\n", Rows[I].c_str(),
                    I + 1 < Rows.size() ? "," : "");
@@ -139,6 +148,7 @@ public:
 
 private:
   std::string Header;
+  std::vector<std::string> Sections;
   std::vector<std::string> Rows;
 };
 

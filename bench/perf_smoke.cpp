@@ -10,10 +10,14 @@
 // lookups — each at B=0 (the PAM baseline) and B=128 (the paper's default
 // block size), plus flat-by-flat union/intersect/difference over leaf-sized
 // operands with the streaming cursor fast path ON (flat_*_fast rows) vs the
-// temp_buf array path (flat_*_buf rows). Emits machine-readable JSON with
-// --json=<path>; CI runs this on every push and uploads the file, and
-// before/after snapshots are checked in as BENCH_<PR>.json. Deterministic
-// inputs (fixed seed), median of --reps runs after one warmup.
+// temp_buf array path (flat_*_buf rows). The flat rows run at B in {8, 128}
+// for the raw, difference and gamma encodings; the union rows produce
+// multi-leaf (~3B-entry) results, exercising the chunked leaf pipeline.
+// The JSON additionally carries a pool_stats section with per-size-class
+// occupancy columns from pool_allocator::stats(). Emits machine-readable
+// JSON with --json=<path>; CI runs this on every push and uploads the file,
+// and before/after snapshots are checked in as BENCH_<PR>.json.
+// Deterministic inputs (fixed seed), median of --reps runs after one warmup.
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +29,7 @@
 #include "src/api/pam_map.h"
 #include "src/api/pam_set.h"
 #include "src/encoding/diff_encoder.h"
+#include "src/encoding/gamma_encoder.h"
 #include "src/parallel/random.h"
 
 using namespace cpam;
@@ -136,26 +141,32 @@ template <int B> void runSuite(size_t N, JsonReport &Report) {
 /// Flat-by-flat set operations: many independent leaf-sized operand pairs,
 /// measured with the streaming cursor fast path on (flat_*_fast) and with
 /// the temp_buf array base case (flat_*_buf). At B=0 there are no flat
-/// nodes, so both rows measure the same expose-path control. Operand keys
-/// interleave with 50% overlap so union, intersect and difference all have
-/// real merge work and combine traffic.
+/// nodes, so both rows measure the same expose-path control. Two key
+/// shapes: interleaved (50% overlap, so union, intersect and difference
+/// all have real merge work and combine traffic) and — when \p Runs is
+/// set — range-disjoint operands, the sorted-run/batch-append pattern the
+/// galloping batch merge targets (union only; intersections of disjoint
+/// ranges are empty). Union results (~3B-4B entries per pair) span
+/// multiple leaves, driving the chunked streaming writer.
 template <int B, template <class> class Enc = cpam::raw_encoder>
-void runFlatOps(size_t NPairs, JsonReport &Report, const char *Tag = "") {
+void runFlatOps(size_t NPairs, JsonReport &Report, const char *Tag = "",
+                bool Runs = false) {
   using Set = pam_set<uint64_t, B, Enc>;
   constexpr size_t kLeaf = B > 0 ? 2 * B : 256; // Entries per operand.
 
-  std::printf("-- flat ops B=%d%s (pairs=%zu, %zu entries/operand) --\n", B,
-              Tag, NPairs, kLeaf);
+  std::printf("-- flat ops B=%d%s%s (pairs=%zu, %zu entries/operand) --\n", B,
+              Tag, Runs ? " [runs]" : "", NPairs, kLeaf);
 
   // Each pair lives in its own key window; within a window the sides share
-  // every other key.
+  // every other key (interleaved shape) or occupy disjoint ranges (runs).
   std::vector<Set> As(NPairs), Bs(NPairs);
   for (size_t P = 0; P < NPairs; ++P) {
     uint64_t Base = P * 8 * kLeaf;
     std::vector<uint64_t> KA(kLeaf), KB(kLeaf);
     for (size_t I = 0; I < kLeaf; ++I) {
-      KA[I] = Base + 2 * I;                       // Evens.
-      KB[I] = Base + 2 * I + (I % 2 ? 0 : 1);     // Half shared, half odd.
+      KA[I] = Runs ? Base + I : Base + 2 * I;
+      KB[I] = Runs ? Base + 3 * kLeaf + I
+                   : Base + 2 * I + (I % 2 ? 0 : 1);
     }
     As[P] = Set::from_sorted(KA);
     std::sort(KB.begin(), KB.end());
@@ -166,7 +177,10 @@ void runFlatOps(size_t NPairs, JsonReport &Report, const char *Tag = "") {
   size_t Ops = NPairs * 2 * kLeaf; // Entries touched per run.
   char Name[64];
   std::vector<Set> Outs(NPairs);
-  for (const char *Kind : {"union", "intersect", "difference"}) {
+  std::vector<const char *> Kinds = {"union", "intersect", "difference"};
+  if (Runs)
+    Kinds = {"union_runs"};
+  for (const char *Kind : Kinds) {
     double Times[2];
     for (bool Fast : {false, true}) {
       Set::ops::flat_fastpath() = Fast;
@@ -198,6 +212,47 @@ void runFlatOps(size_t NPairs, JsonReport &Report, const char *Tag = "") {
   Set::ops::flat_fastpath() = Saved;
 }
 
+/// Per-size-class pool occupancy after the whole run: allocation traffic,
+/// outstanding blocks and batch/slab flow, printed and recorded as the
+/// JSON pool_stats section (empty array when the pool is compiled out).
+void dumpPoolStats(JsonReport &Report) {
+  std::string Json = "[";
+#if CPAM_POOL_ALLOC
+  std::printf("\n-- pool occupancy per size class (nonzero classes) --\n");
+  auto P = pool_allocator::stats();
+  bool First = true;
+  for (size_t C = 0; C < pool_allocator::kNumClasses; ++C) {
+    if (P[C].Allocs == 0)
+      continue;
+    long long Live = static_cast<long long>(P[C].Allocs - P[C].Frees);
+    std::printf("  class %2zu (%6zu B): allocs=%llu frees=%llu live=%lld "
+                "refills=%llu drains=%llu carves=%llu\n",
+                C, P[C].BlockBytes, (unsigned long long)P[C].Allocs,
+                (unsigned long long)P[C].Frees, Live,
+                (unsigned long long)P[C].RefillBatches,
+                (unsigned long long)P[C].DrainBatches,
+                (unsigned long long)P[C].SlabCarves);
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s\n    {\"block_bytes\": %zu, \"allocs\": %llu, "
+                  "\"frees\": %llu, \"live\": %lld, \"refill_batches\": %llu, "
+                  "\"drain_batches\": %llu, \"slab_carves\": %llu}",
+                  First ? "" : ",", P[C].BlockBytes,
+                  (unsigned long long)P[C].Allocs,
+                  (unsigned long long)P[C].Frees, Live,
+                  (unsigned long long)P[C].RefillBatches,
+                  (unsigned long long)P[C].DrainBatches,
+                  (unsigned long long)P[C].SlabCarves);
+    Json += Buf;
+    First = false;
+  }
+  if (!First)
+    Json += "\n  ";
+#endif
+  Json += "]";
+  Report.add_section("pool_stats", Json);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -212,11 +267,25 @@ int main(int argc, char **argv) {
   JsonReport Report("perf_smoke", N, g_reps);
   runSuite<0>(N, Report);
   runSuite<128>(N, Report);
-  // Flat-by-flat base cases: ~N total entries per side across all pairs.
+  // Flat-by-flat base cases: ~N total entries per side across all pairs,
+  // at a small and the default block size for all three encodings (the
+  // union rows are multi-leaf: ~3B entries per result).
   size_t Pairs = std::max<size_t>(1, N / 512);
   runFlatOps<0>(Pairs, Report);
+  runFlatOps<8>(Pairs * 16, Report);
+  runFlatOps<8, diff_encoder>(Pairs * 16, Report, "_diff");
+  runFlatOps<8, gamma_encoder>(Pairs * 16, Report, "_gamma");
   runFlatOps<128>(Pairs, Report);
   runFlatOps<128, diff_encoder>(Pairs, Report, "_diff");
+  runFlatOps<128, gamma_encoder>(Pairs, Report, "_gamma");
+  // Range-disjoint (sorted-run) unions: the batch-append pattern.
+  runFlatOps<8>(Pairs * 16, Report, "", true);
+  runFlatOps<8, diff_encoder>(Pairs * 16, Report, "_diff", true);
+  runFlatOps<8, gamma_encoder>(Pairs * 16, Report, "_gamma", true);
+  runFlatOps<128>(Pairs, Report, "", true);
+  runFlatOps<128, diff_encoder>(Pairs, Report, "_diff", true);
+  runFlatOps<128, gamma_encoder>(Pairs, Report, "_gamma", true);
+  dumpPoolStats(Report);
   Report.write(JsonPath);
   return 0;
 }

@@ -18,6 +18,7 @@
 #ifndef CPAM_CORE_BASIC_TREE_H
 #define CPAM_CORE_BASIC_TREE_H
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 
@@ -334,6 +335,7 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     }
 
     bool done() const { return C.done(); }
+    size_t remaining() const { return C.remaining(); }
     const entry_t &peek() const { return C.peek(); }
     const key_t &key() const { return Entry::get_key(C.peek()); }
     entry_t take() { return C.take(); }
@@ -345,110 +347,456 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     typename NL::encoder::read_cursor C;
   };
 
+  /// Chunked streaming writer: turns one ordered entry stream of arbitrary
+  /// length into a balanced tree of legal flat leaves with no decode/
+  /// re-encode bounce — every entry is encoded exactly once, in batch.
+  ///
+  /// push() is a single store into a pending entry array. Once 3B+1
+  /// entries are pending, the oldest 2B are fed to the encoder's
+  /// write_cursor in one tight loop (batch encode, unlike a per-entry
+  /// interleave this pipelines well) and sealed as a finished leaf — one
+  /// exactly-sized allocation plus the encoder's cut(), a memcpy for
+  /// byte-coded schemes — the next pending entry becomes the separator
+  /// entry of a regular node, and the remaining B compact to the front.
+  /// The 3B+1 threshold is the hold-back that makes tails legal without
+  /// ever revisiting a sealed byte: a chunk is only sealed once B+1 later
+  /// entries exist, so after any seal at least B entries are pending, and
+  /// finish() always closes the stream as one or two leaves in [B, 2B]
+  /// (a pending tail in (2B, 3B] splits around its median). Results
+  /// shorter than B never touch the encoder at all: they build straight
+  /// from the pending entries. finish() assembles the sealed leaves and
+  /// separators into a weight-balanced top with join (forking for wide
+  /// results, the same discipline as from_array_move).
+  ///
+  /// Abandonment mid-stream leaks nothing: sealed leaves are dec'd,
+  /// pending and staged entries destroyed. Not for augmented trees:
+  /// alloc_flat cannot aggregate a stream it never materializes
+  /// (leaf_writer falls back to staging for those).
+  class leaf_chunk_writer {
+  public:
+    using WC = typename NL::encoder::write_cursor;
+    /// Entries per sealed leaf: full blocks, so a stream of k*2B entries
+    /// becomes exactly k leaves (the ROADMAP's "fresh full-width key every
+    /// ~2B entries").
+    static constexpr size_t kChunk = 2 * kB;
+    /// Pending entries that trigger a seal: chunk + separator + the B
+    /// hold-back that keeps every later tail legal.
+    static constexpr size_t kPendTrigger = 3 * kB + 1;
+
+    explicit leaf_chunk_writer(size_t MaxN) {
+      // One pooled allocation carries the encoder staging bytes, the
+      // pending array and (for streams that can span leaves) the
+      // separator and leaf-pointer arrays.
+      size_t CursorCap = std::max<size_t>(1, std::min(MaxN, kChunk));
+      PendCap = std::max<size_t>(1, std::min(MaxN, kPendTrigger));
+      size_t PendOff = align_up(WC::max_bytes(CursorCap), alignof(entry_t));
+      size_t SepOff = PendOff + PendCap * sizeof(entry_t);
+      size_t LeafOff = SepOff;
+      Bytes = SepOff;
+      if (MaxN > kChunk) {
+        // Every sealed leaf covers at least B+1 stream entries (leaf plus
+        // separator), which bounds the unit arrays up front.
+        MaxUnits = MaxN / (kB + 1) + 2;
+        LeafOff = align_up(SepOff + MaxUnits * sizeof(entry_t),
+                           alignof(node_t *));
+        Bytes = LeafOff + MaxUnits * sizeof(node_t *);
+      }
+      Buf = static_cast<uint8_t *>(tree_alloc(Bytes));
+      Pending = reinterpret_cast<entry_t *>(Buf + PendOff);
+      if (MaxN > kChunk) {
+        Seps = reinterpret_cast<entry_t *>(Buf + SepOff);
+        Leaves = reinterpret_cast<node_t **>(Buf + LeafOff);
+      }
+      C.emplace(Buf, CursorCap);
+    }
+    leaf_chunk_writer(const leaf_chunk_writer &) = delete;
+    leaf_chunk_writer &operator=(const leaf_chunk_writer &) = delete;
+    ~leaf_chunk_writer() {
+      C->release(); // Staged entries live inside Buf; drop them first.
+      if constexpr (!std::is_trivially_destructible_v<entry_t>) {
+        for (size_t I = 0; I < NPend; ++I)
+          Pending[I].~entry_t();
+        for (size_t I = 0; I < NSeps; ++I)
+          Seps[I].~entry_t();
+      }
+      for (size_t I = 0; I < NLeaves; ++I)
+        NL::dec(Leaves[I]);
+      tree_free(Buf, Bytes);
+    }
+
+    void push(entry_t E) {
+      assert(NPend < PendCap && "pending array overflow (push past MaxN?)");
+      ::new (static_cast<void *>(Pending + NPend)) entry_t(std::move(E));
+      if (++NPend == kPendTrigger && PendCap == kPendTrigger)
+        drain_chunk();
+    }
+    /// Entries accepted so far — push() mode only (push_ahead callers
+    /// drive the writer from arrays and track their own counts).
+    size_t count() const { return Total + NPend; }
+
+    /// Direct-encode push for producers that know their remaining length
+    /// (the fused array merges): the entry goes straight into the encoder
+    /// cursor — no pending staging — and a full chunk is sealed on the
+    /// spot, with this entry as its separator. The caller must guarantee
+    /// that at least B+1 entries still follow every push_ahead() (exact
+    /// operand remainders make that a two-compare loop guard), which is
+    /// what keeps every later tail legal. Close the stream with
+    /// finish_tail(); do not mix with push().
+    void push_ahead(entry_t E) {
+      if (C->count() == kChunk) {
+        seal(kChunk);
+        new_separator(std::move(E));
+        return;
+      }
+      C->push(std::move(E));
+    }
+
+    /// Batch push_ahead: encodes a whole run of \p Count entries from
+    /// \p A through push_n, sealing full chunks as they complete (their
+    /// separators come from the run). Long sorted runs — the CPMA-style
+    /// batch-merge pattern — become single batch encodes. The push_ahead
+    /// caller guarantee applies to the end of the run.
+    void push_ahead_n(entry_t *A, size_t Count) {
+      while (Count) {
+        size_t Room = kChunk - C->count();
+        if (Room == 0) {
+          seal(kChunk);
+          new_separator(std::move(*A));
+          ++A;
+          --Count;
+          continue;
+        }
+        size_t Take = std::min(Room, Count);
+        C->push_n(A, Take);
+        A += Take;
+        Count -= Take;
+      }
+    }
+
+    /// Closes a push_ahead() stream: the already-merged remaining entries
+    /// \p A[0..R) plus the open cursor chunk become the final one or two
+    /// leaves. R < B+2 per operand side at switchover bounds R <= 2B+2.
+    node_t *finish_tail(entry_t *A, size_t R) {
+      size_t Cc = C->count();
+      size_t Tail = Cc + R;
+      Total = 0;
+      if (Tail == 0)
+        return nullptr; // Nothing sealed either (hold-back keeps tails > 0).
+      if (NLeaves == 0 && Tail < kB) {
+        // Short stream: build from entries (decoding the open chunk if the
+        // caller streamed any of it).
+        return close_short(A, R, Cc, Tail);
+      }
+      if (Tail <= kChunk) {
+        // One final legal leaf.
+        C->push_n(A, R);
+        if (NLeaves == 0) {
+          typename NL::flat_t *F = NL::alloc_flat(Tail, C->bytes());
+          C->cut(NL::payload(F));
+          return F;
+        }
+        seal(Tail);
+        return close_top();
+      }
+      // More than one final leaf. The first must absorb the open chunk
+      // (sealed bytes cannot move) plus enough tail entries to leave a
+      // legal remainder; the push_ahead guard makes that feasible except
+      // in a rare corner (open chunk near 2B meeting a dup-shortened
+      // tail). Whatever follows the first leaf is a pure array problem:
+      // one more leaf when it fits, from_array_move when it spans several
+      // (the tail can reach ~4B when the chunk and both kept-back operand
+      // remainders meet).
+      size_t S1lo = std::max(Cc, kB);
+      size_t S1hi = std::min(kChunk, Tail - 1 - kB);
+      if (S1lo <= S1hi) {
+        size_t S1 = std::min(std::max(Tail / 2, S1lo), S1hi);
+        C->push_n(A, S1 - Cc);
+        seal(S1);
+        new_separator(std::move(A[S1 - Cc]));
+        size_t Off = (S1 - Cc) + 1;
+        size_t Rest = Tail - 1 - S1; // >= B by the S1hi bound.
+        if (Rest <= kChunk) {
+          C->push_n(A + Off, Rest);
+          seal(Rest);
+        } else {
+          assert(NLeaves < MaxUnits && "leaf unit array overflow");
+          Leaves[NLeaves++] = from_array_move(A + Off, Rest);
+        }
+        return close_top();
+      }
+      // Corner: decode the open chunk once and rebuild this last unit from
+      // entries — the only decode bounce left, rare and bounded by 2B.
+      node_t *Sub = close_short(A, R, Cc, Tail);
+      if (NLeaves == 0)
+        return Sub;
+      Leaves[NLeaves++] = Sub;
+      return close_top();
+    }
+
+    /// Builds the result tree (nullptr when nothing was pushed) and resets.
+    node_t *finish() {
+      node_t *Out;
+      if (NLeaves == 0 && (WC::stages_entries || NPend < kB)) {
+        // Short stream (or an entry-staging scheme, whose staging array
+        // is the pending array itself): build directly from the entries.
+        Out = NPend ? from_array_move(Pending, NPend) : nullptr;
+      } else if (NLeaves == 0 && NPend <= kChunk) {
+        // The whole stream is one legal leaf: adopt the batch-encoded
+        // bytes wholesale (the unit arrays may not exist here — a
+        // MaxN <= 2B writer never allocates them).
+        feed(0, NPend);
+        typename NL::flat_t *F = NL::alloc_flat(NPend, C->bytes());
+        C->cut(NL::payload(F));
+        Out = F;
+      } else if (NPend <= kChunk) {
+        // One more legal leaf under sealed ones: the hold-back
+        // guarantees NPend >= B.
+        assert(NPend >= kB && "hold-back must keep tails >= B");
+        feed(0, NPend);
+        seal(NPend);
+        Out = close_top();
+      } else {
+        // Tail in (2B, 3B]: two legal leaves around the median entry.
+        size_t S1 = NPend / 2;
+        assert(S1 >= kB && NPend - 1 - S1 >= kB && "illegal tail split");
+        feed(0, S1);
+        seal(S1);
+        new_separator(std::move(Pending[S1]));
+        feed(S1 + 1, NPend);
+        seal(NPend - 1 - S1);
+        Out = close_top();
+      }
+      destroy_pending(); // Every branch leaves only movable husks behind.
+      NPend = 0;
+      Total = 0;
+      return Out;
+    }
+
+  private:
+    static constexpr size_t align_up(size_t X, size_t A) {
+      return (X + A - 1) & ~(A - 1);
+    }
+
+    /// Batch-encodes pending entries [From, To) into the write cursor in
+    /// one push_n pass (register-local chain state; a memcpy for raw).
+    /// Entry-staging schemes move the entries out, leaving destructible
+    /// husks; byte-coded schemes read integral keys and leave the slots
+    /// untouched — either way the pending slots stay destructible.
+    void feed(size_t From, size_t To) {
+      C->push_n(Pending + From, To - From);
+    }
+    void destroy_pending(size_t From = 0) {
+      if constexpr (!std::is_trivially_destructible_v<entry_t>)
+        for (size_t I = From; I < NPend; ++I)
+          Pending[I].~entry_t();
+    }
+
+    /// Rebuilds (open cursor chunk + tail entries) as one small tree from
+    /// entries, decoding the chunk if nonempty.
+    node_t *close_short(entry_t *A, size_t R, size_t Cc, size_t Tail) {
+      if (Cc == 0)
+        return R ? from_array_move(A, R) : nullptr;
+      temp_buf All(Tail);
+      C->drain(All.data());
+      All.set_count(Cc);
+      for (size_t I = 0; I < R; ++I)
+        ::new (static_cast<void *>(All.data() + Cc + I))
+            entry_t(std::move(A[I]));
+      All.set_count(Tail);
+      return from_array_move(All.data(), Tail);
+    }
+
+    /// Seals the current cursor chunk (N entries) as one finished leaf.
+    void seal(size_t N) {
+      assert(Leaves && NLeaves < MaxUnits &&
+             "sealing requires the unit arrays (MaxN > 2B)");
+      typename NL::flat_t *F = NL::alloc_flat(N, C->bytes());
+      C->cut(NL::payload(F));
+      Leaves[NLeaves++] = F;
+    }
+    void new_separator(entry_t Sep) {
+      ::new (static_cast<void *>(Seps + NSeps)) entry_t(std::move(Sep));
+      ++NSeps;
+    }
+
+    /// Pending hit 3B+1: emit the oldest 2B as a sealed leaf, take the
+    /// next as separator, compact the remaining B to the front.
+    void drain_chunk() {
+      feed(0, kChunk);
+      seal(kChunk);
+      new_separator(std::move(Pending[kChunk]));
+      Total += kChunk + 1;
+      size_t Rest = NPend - kChunk - 1; // == kB
+      if constexpr (std::is_trivially_copyable_v<entry_t>) {
+        std::memcpy(static_cast<void *>(Pending),
+                    static_cast<const void *>(Pending + kChunk + 1),
+                    Rest * sizeof(entry_t));
+      } else {
+        for (size_t I = 0; I < Rest; ++I)
+          Pending[I] = std::move(Pending[kChunk + 1 + I]);
+        destroy_pending(Rest);
+      }
+      NPend = Rest;
+    }
+
+    /// Top assembly over the sealed leaves once the tail is closed.
+    node_t *close_top() {
+      assert(NLeaves == NSeps + 1 &&
+             "one separator between consecutive leaves");
+      node_t *Out = build_top(Leaves, Seps, NLeaves);
+      if constexpr (!std::is_trivially_destructible_v<entry_t>)
+        for (size_t I = 0; I < NSeps; ++I)
+          Seps[I].~entry_t(); // build_top moved them out; drop the husks.
+      NLeaves = 0;
+      NSeps = 0;
+      return Out;
+    }
+
+    /// Balanced top over \p K sealed units and K-1 separators, built with
+    /// join so near-equal unit weights (full chunks, plus final units in
+    /// [B, 2B]) always land inside the alpha balance bound.
+    static node_t *build_top(node_t **Ls, entry_t *Ss, size_t K) {
+      if (K == 1)
+        return Ls[0];
+      size_t Mid = K / 2;
+      node_t *L = nullptr, *R = nullptr;
+      par::par_do_if(
+          K * kChunk >= par_gran(), [&] { L = build_top(Ls, Ss, Mid); },
+          [&] { R = build_top(Ls + Mid, Ss + Mid, K - Mid); });
+      return join(L, std::move(Ss[Mid - 1]), R);
+    }
+
+    size_t Bytes = 0;
+    uint8_t *Buf = nullptr;
+    std::optional<WC> C;
+    /// Pending (not yet encoded) entries; the hold-back that keeps every
+    /// sealed leaf and tail inside [B, 2B].
+    entry_t *Pending = nullptr;
+    size_t PendCap = 0;
+    size_t NPend = 0;
+    /// Separator staging and sealed-leaf array: present only for streams
+    /// that can span leaves (MaxN > 2B).
+    entry_t *Seps = nullptr;
+    node_t **Leaves = nullptr;
+    size_t MaxUnits = 0;
+    size_t NLeaves = 0;
+    size_t NSeps = 0;
+    size_t Total = 0; // Entries already drained out of Pending.
+  };
+
   /// Streaming writer assembling a result tree from entries pushed in order
-  /// (at most \p MaxN of them). Three representations, picked up front:
+  /// (at most \p MaxN of them). Two representations, picked up front:
   ///
-  ///  - Entry-staging encodings (raw): entries stream into an array that is
-  ///    already the encoded form; finish() builds straight from it.
-  ///  - Byte-coded encodings with MaxN <= 2B (result guaranteed to fit one
-  ///    leaf): entries stream through the encoder's write_cursor, so
-  ///    finish() is one exactly-sized allocation plus a memcpy — no
-  ///    encoded_size or encode pass, no entry materialization. Results that
-  ///    come up shorter than B decode back out of the (small) stream.
-  ///  - Otherwise (possible multi-leaf result, or augmented trees, whose
-  ///    aggregates need the entries): entries stage into a plain array and
-  ///    finish() is from_array_move, which folds [B,2B] chunks into legal
-  ///    flat leaves and keeps undersized/oversized results invariant-clean.
+  ///  - Blocked, unaugmented, byte-coded trees: the chunked
+  ///    leaf_chunk_writer above — the stream is emitted as finished leaves
+  ///    chunk by chunk, whatever its length, with no entry
+  ///    materialization.
+  ///  - Everything else: entries stage into a plain array and finish() is
+  ///    from_array_move. For entry-staging encodings (raw) the staging
+  ///    array is already the encoded form, so this is the faster shape —
+  ///    batch block encodes, parallel for wide results — and it is the
+  ///    only correct one for augmented trees, whose aggregates need the
+  ///    entries.
   ///
-  /// Abandonment leaks nothing in any mode.
+  /// Abandonment leaks nothing in either mode.
   class leaf_writer {
   public:
     using WC = typename NL::encoder::write_cursor;
-    /// Byte-streaming pays off only when the result cannot overflow one
-    /// leaf; past that the stream would be decoded and re-encoded anyway.
+    /// Chunked byte-streaming requires blocking, no augmented aggregate
+    /// (which would need the entries materialized anyway) and a byte-coded
+    /// scheme (entry-staging ones build faster from their staging array).
     static constexpr bool kCanStream =
-        !WC::stages_entries && kBlocked && !NL::is_aug;
+        kBlocked && !NL::is_aug && !WC::stages_entries;
 
     explicit leaf_writer(size_t MaxN) {
-      bool Cursor = WC::stages_entries || (kCanStream && MaxN <= 2 * kB);
-      BufBytes = Cursor ? WC::max_bytes(MaxN) : MaxN * sizeof(entry_t);
-      Buf = static_cast<uint8_t *>(tree_alloc(BufBytes));
-      if (Cursor)
-        C.emplace(Buf, MaxN);
+      if constexpr (kCanStream) {
+        CW.emplace(MaxN);
+      } else {
+        BufBytes = std::max<size_t>(1, MaxN) * sizeof(entry_t);
+        Buf = static_cast<uint8_t *>(tree_alloc(BufBytes));
+      }
     }
     leaf_writer(const leaf_writer &) = delete;
     leaf_writer &operator=(const leaf_writer &) = delete;
     ~leaf_writer() {
-      if (C) {
-        // Staged entries live inside Buf; drop them before freeing it.
-        C->release();
-      } else if constexpr (!std::is_trivially_destructible_v<entry_t>) {
-        for (size_t I = 0; I < N; ++I)
-          stage()[I].~entry_t();
+      if constexpr (!kCanStream) {
+        if constexpr (!std::is_trivially_destructible_v<entry_t>)
+          for (size_t I = 0; I < N; ++I)
+            stage()[I].~entry_t();
+        tree_free(Buf, BufBytes);
       }
-      tree_free(Buf, BufBytes);
     }
 
     void push(entry_t E) {
-      if (C) {
-        C->push(std::move(E));
+      if constexpr (kCanStream) {
+        CW->push(std::move(E));
       } else {
         assert((N + 1) * sizeof(entry_t) <= BufBytes && "leaf_writer overflow");
         ::new (static_cast<void *>(stage() + N)) entry_t(std::move(E));
         ++N;
       }
     }
-    size_t count() const { return C ? C->count() : N; }
+    size_t count() const {
+      if constexpr (kCanStream)
+        return CW->count();
+      else
+        return N;
+    }
 
     /// Builds the result tree (nullptr when nothing was pushed).
     node_t *finish() {
-      if (!C) {
-        // Possible multi-leaf (or augmented) result: build from the staged
-        // entries; from_array_move folds [B,2B] chunks into flat leaves and
-        // keeps undersized/oversized results invariant-clean.
+      if constexpr (kCanStream)
+        return CW->finish();
+      else
         return N ? from_array_move(stage(), N) : nullptr;
-      }
-      size_t Nc = C->count();
-      if (Nc == 0)
-        return nullptr;
-      if constexpr (WC::stages_entries) {
-        // The staging area is already an entry array: build straight from
-        // it.
-        return from_array_move(C->staged(), Nc);
-      } else {
-        if (Nc >= kB && Nc <= 2 * kB) {
-          // Single-leaf result: adopt the streamed bytes wholesale.
-          typename NL::flat_t *T = NL::alloc_flat(Nc, C->bytes());
-          C->finish(NL::payload(T));
-          return T;
-        }
-        // Result came up shorter than a legal leaf: rebuild as a (small)
-        // regular tree from the decoded stream.
-        temp_buf Out(Nc);
-        C->drain(Out.data());
-        Out.set_count(Nc);
-        return from_array_move(Out.data(), Nc);
-      }
     }
 
   private:
     entry_t *stage() { return reinterpret_cast<entry_t *>(Buf); }
 
+    /// The chunk writer exists only in streaming instantiations, so
+    /// staging-only trees (augmented, B = 0) never instantiate it.
+    struct no_chunk_writer {};
     size_t BufBytes = 0;
     uint8_t *Buf = nullptr;
-    std::optional<WC> C;
+    std::conditional_t<kCanStream, std::optional<leaf_chunk_writer>,
+                       no_chunk_writer>
+        CW;
     size_t N = 0;
   };
 
-  /// True when the cursor merge beats the array base case for a result of
-  /// at most \p MaxOut entries: always for entry-staging encodings (the
-  /// staging area doubles as the output), and for byte-coded encodings only
-  /// while the result is guaranteed to fit a single streamed leaf — past
-  /// that the stream would be decoded and re-encoded, which measures slower
-  /// than the array path it replaces.
-  static bool flat_merge_wins(size_t MaxOut) {
-    return NL::encoder::write_cursor::stages_entries ||
-           (leaf_writer::kCanStream && MaxOut <= 2 * kB);
+  /// Encoded payload bytes of \p T: exact for flat nodes, an entry-array
+  /// estimate otherwise (callers add batch arrays as count * sizeof).
+  static size_t encoded_bytes(const node_t *T) {
+    if (is_flat(T))
+      return static_cast<const typename NL::flat_t *>(T)->Bytes;
+    return size(T) * sizeof(entry_t);
+  }
+
+  /// Measured break-even for the cursor merge, in combined encoded operand
+  /// bytes: the streaming path is taken when the operands carry at least
+  /// this much encoded payload. The PR 5 measurements (BENCH_PR5.json)
+  /// show the chunked stream ahead of the array path from the smallest
+  /// leaf-sized operands up for all three encoders, so the default admits
+  /// everything; the knob stays runtime-mutable (single-threaded setup
+  /// code only) for A/B benchmarks and for hosts that measure differently.
+  static constexpr size_t kFlatStreamMinBytesDefault = 0;
+  static size_t &flat_stream_min_bytes() {
+    static size_t V = kFlatStreamMinBytesDefault;
+    return V;
+  }
+
+  /// True when the cursor merge beats the array base case for flat operands
+  /// carrying \p OperandBytes of encoded payload in total. Since the
+  /// chunked writer emits any number of finished leaves from one stream,
+  /// this is a pure measured break-even, not a capability gate: entry-
+  /// staging encodings always win (the staging area doubles as the output),
+  /// byte-coded encodings win from flat_stream_min_bytes() up. Augmented
+  /// trees keep the array path (aggregates need the entries materialized).
+  static bool flat_merge_wins(size_t OperandBytes) {
+    if (NL::encoder::write_cursor::stages_entries)
+      return true;
+    return leaf_writer::kCanStream && OperandBytes >= flat_stream_min_bytes();
   }
 
   //===--------------------------------------------------------------------===
@@ -480,8 +828,24 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     if (!T)
       return {};
     if (is_flat(T)) {
-      // Flat base case: binary search inside the decoded block.
       size_t N = T->Size;
+      if (flat_fastpath() && flat_merge_wins(encoded_bytes(T))) {
+        // Leaf splice: stream the block into the two sides, never
+        // materializing it (each entry is decoded once on its way out).
+        leaf_reader C(T);
+        leaf_writer WL(N), WR(N);
+        split_t Out;
+        while (!C.done() && Entry::comp(Entry::get_key(C.peek()), K))
+          WL.push(C.take());
+        if (!C.done() && !Entry::comp(K, Entry::get_key(C.peek())))
+          Out.E.emplace(C.take());
+        while (!C.done())
+          WR.push(C.take());
+        Out.L = WL.finish();
+        Out.R = WR.finish();
+        return Out;
+      }
+      // Array base case: binary search inside the decoded block.
       temp_buf Buf(N);
       flatten(T, Buf.data());
       Buf.set_count(N);
@@ -519,6 +883,16 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     assert(T && "split_last on empty tree");
     if (is_flat(T)) {
       size_t N = T->Size;
+      if (flat_fastpath() && flat_merge_wins(encoded_bytes(T))) {
+        // Leaf splice: stream all but the last entry straight into the
+        // result block.
+        leaf_reader C(T);
+        leaf_writer W(N);
+        for (size_t I = 0; I + 1 < N; ++I)
+          W.push(C.take());
+        entry_t Last = C.take();
+        return {W.finish(), std::move(Last)};
+      }
       temp_buf Buf(N);
       flatten(T, Buf.data());
       Buf.set_count(N);

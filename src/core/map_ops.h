@@ -63,6 +63,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
   using TO::split;
   using leaf_reader = typename TO::leaf_reader;
   using leaf_writer = typename TO::leaf_writer;
+  using leaf_chunk_writer = typename TO::leaf_chunk_writer;
 
   /// Base-case granularity kappa of Sec. 8: subproblems whose total size is
   /// at most this are solved by flattening into arrays and merging. The
@@ -257,8 +258,24 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     if (!T)
       return NL::singleton(std::move(E));
     if (is_flat(T)) {
-      // Leaf base case: splice into the decoded block.
       size_t N = T->Size;
+      if (flat_fastpath() && TO::flat_merge_wins(TO::encoded_bytes(T))) {
+        // Leaf splice: copy-prefix / splice / copy-suffix through the
+        // cursor pair — no whole-block materialization for a one-entry
+        // change. A 2B+1-entry result chunks into two leaves.
+        leaf_writer W(N + 1);
+        leaf_reader C(T);
+        while (!C.done() && key_less(C.key(), entry_key(E)))
+          W.push(C.take());
+        if (!C.done() && !key_less(entry_key(E), C.key()))
+          W.push(combine_entries(C.take(), E, Op));
+        else
+          W.push(std::move(E));
+        while (!C.done())
+          W.push(C.take());
+        return W.finish();
+      }
+      // Array base case: splice into the decoded block.
       temp_buf Buf(N + 1);
       entry_t *A = Buf.data();
       flatten(T, A);
@@ -290,6 +307,18 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return nullptr;
     if (is_flat(T)) {
       size_t N = T->Size;
+      if (flat_fastpath() && TO::flat_merge_wins(TO::encoded_bytes(T))) {
+        // Leaf splice: stream everything but the matching entry.
+        leaf_writer W(N);
+        leaf_reader C(T);
+        while (!C.done() && key_less(C.key(), K))
+          W.push(C.take());
+        if (!C.done() && !key_less(K, C.key()))
+          C.skip();
+        while (!C.done())
+          W.push(C.take());
+        return W.finish();
+      }
       temp_buf Buf(N);
       entry_t *A = Buf.data();
       flatten(T, A);
@@ -311,17 +340,143 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
 
   //===--------------------------------------------------------------------===
   // Set operations (Fig. 10) with Sec. 8 base cases. Two flat operands
-  // merge cursor-to-cursor straight into a new flat node (leaf_reader ->
-  // leaf_writer, no temp_buf round trip); every other base-case shape (and
-  // every base case when flat_fastpath() is off) flattens into arrays.
+  // merge cursor-to-cursor straight into finished flat nodes (leaf_reader
+  // -> leaf_writer, no temp_buf round trip; multi-leaf results are emitted
+  // chunk by chunk); every other base-case shape (and every base case when
+  // flat_fastpath() is off) flattens into arrays.
   //===--------------------------------------------------------------------===
 
-  /// Merges two encoded blocks directly: each entry is decoded once on its
-  /// way into the output stream, and uniquely owned inputs are moved out,
-  /// never copied. Duplicate keys invoke \p Op exactly once.
+  /// Merges the sorted arrays A[0..N1) and B[0..N2) into \p Out's raw
+  /// storage (entries moved; duplicate keys combined with \p Op, invoked
+  /// exactly once) and returns the merged count. Out must have capacity
+  /// N1+N2; its count is kept current so unwinding destroys exactly the
+  /// constructed prefix.
+  template <class CombineOp>
+  static size_t merge_move(entry_t *A, size_t N1, entry_t *B, size_t N2,
+                           temp_buf &Out, const CombineOp &Op) {
+    entry_t *O = Out.data();
+    size_t I = 0, J = 0, K = 0;
+    while (I < N1 && J < N2) {
+      if (key_less(entry_key(A[I]), entry_key(B[J])))
+        ::new (static_cast<void *>(O + K++)) entry_t(std::move(A[I++]));
+      else if (key_less(entry_key(B[J]), entry_key(A[I])))
+        ::new (static_cast<void *>(O + K++)) entry_t(std::move(B[J++]));
+      else {
+        ::new (static_cast<void *>(O + K++))
+            entry_t(combine_entries(std::move(A[I]), B[J], Op));
+        ++I;
+        ++J;
+      }
+      Out.set_count(K);
+    }
+    for (; I < N1; ++I, ++K)
+      ::new (static_cast<void *>(O + K)) entry_t(std::move(A[I]));
+    for (; J < N2; ++J, ++K)
+      ::new (static_cast<void *>(O + K)) entry_t(std::move(B[J]));
+    Out.set_count(K);
+    return K;
+  }
+
+  /// Fused two-array merge+encode into the chunked leaf writer, for
+  /// results that can span leaves: each winning entry is byte-coded on the
+  /// spot (push_ahead — no staging pass, no encoded_size pass) while the
+  /// exact operand remainders guarantee every sealed chunk a legal
+  /// successor; once fewer than B+2 entries remain on each side, the rest
+  /// merges into a small tail array that finish_tail() closes as the final
+  /// one or two leaves. Entries are moved out of \p A and \p B; duplicate
+  /// keys invoke \p Op exactly once. Callers gate on
+  /// leaf_writer::kCanStream (augmented trees need their entries
+  /// materialized; entry-staging schemes build faster from staging).
+  template <class CombineOp>
+  static node_t *merge_arrays_streamed(entry_t *A, size_t N1, entry_t *B,
+                                       size_t N2, const CombineOp &Op) {
+    static_assert(TO::leaf_writer::kCanStream,
+                  "streamed merges are byte-coded, blocked, unaugmented");
+    size_t I = 0, J = 0;
+    leaf_chunk_writer W(N1 + N2);
+    // Galloping batch merge: a pure compare scan finds each run of
+    // consecutive winners from one side, then a single push_ahead_n
+    // batch-encodes it — compares and encodes run in separate tight
+    // loops, and long sorted runs become single batch encodes. Runs
+    // are clamped so the push_ahead guarantee (>= B+1 entries follow
+    // every seal) always holds against the exact remainders.
+    while (I < N1 && J < N2 && (N1 - I >= kB + 2 || N2 - J >= kB + 2)) {
+      if (key_less(entry_key(A[I]), entry_key(B[J]))) {
+        size_t R = I + 1;
+        while (R < N1 && key_less(entry_key(A[R]), entry_key(B[J])))
+          ++R;
+        if (N2 - J < kB + 2) {
+          size_t Lim = N1 - (kB + 2); // Only A's remainder backs the
+          if (R > Lim)                // guarantee: keep B+2 of it.
+            R = Lim;
+          if (R <= I)
+            break;
+        }
+        W.push_ahead_n(A + I, R - I);
+        I = R;
+      } else if (key_less(entry_key(B[J]), entry_key(A[I]))) {
+        size_t R = J + 1;
+        while (R < N2 && key_less(entry_key(B[R]), entry_key(A[I])))
+          ++R;
+        if (N1 - I < kB + 2) {
+          size_t Lim = N2 - (kB + 2);
+          if (R > Lim)
+            R = Lim;
+          if (R <= J)
+            break;
+        }
+        W.push_ahead_n(B + J, R - J);
+        J = R;
+      } else {
+        W.push_ahead(combine_entries(std::move(A[I++]), B[J], Op));
+        ++J;
+      }
+    }
+    // A side whose partner is exhausted batch-encodes all but the B+1
+    // entries the tail phase keeps for the hold-back.
+    if (J == N2 && N1 - I > kB + 1) {
+      size_t Take = (N1 - I) - (kB + 1);
+      W.push_ahead_n(A + I, Take);
+      I += Take;
+    }
+    if (I == N1 && N2 - J > kB + 1) {
+      size_t Take = (N2 - J) - (kB + 1);
+      W.push_ahead_n(B + J, Take);
+      J += Take;
+    }
+    // Merge the short remainder (< B+2 per side) into the tail array.
+    temp_buf TailB((N1 - I) + (N2 - J));
+    size_t K = merge_move(A + I, N1 - I, B + J, N2 - J, TailB, Op);
+    return W.finish_tail(TailB.data(), K);
+  }
+
+  /// Merges two encoded blocks directly. Results that fit one leaf merge
+  /// cursor-to-cursor (each entry decoded once on its way into the output
+  /// stream; uniquely owned inputs moved out, never copied); wider results
+  /// flatten both blocks and run the tight array merge above — batch
+  /// decode and batch encode pipeline far better than a per-entry
+  /// read/compare/encode interleave. Duplicate keys invoke \p Op exactly
+  /// once either way.
   template <class CombineOp>
   static node_t *union_flat(node_t *T1, node_t *T2, const CombineOp &Op) {
-    leaf_writer W(size(T1) + size(T2));
+    size_t N1 = size(T1), N2 = size(T2);
+    if constexpr (TO::leaf_writer::kCanStream) {
+      if (N1 + N2 > 2 * kB) {
+        // Multi-leaf byte-coded result: batch-decode both blocks, then
+        // run the fused merge+encode (batch pipelines beat a per-entry
+        // decode/compare/encode interleave, whose serial dependency chain
+        // measured ~1.5x slower here). Entry-staging encodings skip this
+        // and stream interleaved below — their staging array already is
+        // the output.
+        temp_buf B1(N1), B2(N2);
+        flatten(T1, B1.data());
+        B1.set_count(N1);
+        flatten(T2, B2.data());
+        B2.set_count(N2);
+        return merge_arrays_streamed(B1.data(), N1, B2.data(), N2, Op);
+      }
+    }
+    leaf_writer W(N1 + N2);
     leaf_reader A(T1), B(T2);
     while (!A.done() && !B.done()) {
       if (key_less(A.key(), B.key())) {
@@ -378,7 +533,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
   template <class CombineOp>
   static node_t *union_base(node_t *T1, node_t *T2, const CombineOp &Op) {
     if (flat_fastpath() && is_flat(T1) && is_flat(T2) &&
-        TO::flat_merge_wins(size(T1) + size(T2)))
+        TO::flat_merge_wins(TO::encoded_bytes(T1) + TO::encoded_bytes(T2)))
       return union_flat(T1, T2, Op);
     size_t N1 = size(T1), N2 = size(T2);
     temp_buf B1(N1), B2(N2), Out(N1 + N2);
@@ -386,27 +541,8 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     B1.set_count(N1);
     flatten(T2, B2.data());
     B2.set_count(N2);
-    entry_t *A = B1.data(), *B = B2.data(), *O = Out.data();
-    size_t I = 0, J = 0, K = 0;
-    while (I < N1 && J < N2) {
-      if (key_less(entry_key(A[I]), entry_key(B[J])))
-        ::new (static_cast<void *>(O + K++)) entry_t(std::move(A[I++]));
-      else if (key_less(entry_key(B[J]), entry_key(A[I])))
-        ::new (static_cast<void *>(O + K++)) entry_t(std::move(B[J++]));
-      else {
-        ::new (static_cast<void *>(O + K++))
-            entry_t(combine_entries(std::move(A[I]), B[J], Op));
-        ++I;
-        ++J;
-      }
-      Out.set_count(K);
-    }
-    for (; I < N1; ++I, ++K)
-      ::new (static_cast<void *>(O + K)) entry_t(std::move(A[I]));
-    for (; J < N2; ++J, ++K)
-      ::new (static_cast<void *>(O + K)) entry_t(std::move(B[J]));
-    Out.set_count(K);
-    return from_array_move(O, K);
+    size_t K = merge_move(B1.data(), N1, B2.data(), N2, Out, Op);
+    return from_array_move(Out.data(), K);
   }
 
   /// union of two owned trees; values of duplicate keys combine as
@@ -434,9 +570,8 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
 
   template <class CombineOp>
   static node_t *intersect_base(node_t *T1, node_t *T2, const CombineOp &Op) {
-    // A flat block holds at most 2B entries, so min(|T1|,|T2|) always fits
-    // one leaf and the cursor merge always wins here.
-    if (flat_fastpath() && is_flat(T1) && is_flat(T2))
+    if (flat_fastpath() && is_flat(T1) && is_flat(T2) &&
+        TO::flat_merge_wins(TO::encoded_bytes(T1) + TO::encoded_bytes(T2)))
       return intersect_flat(T1, T2, Op);
     size_t N1 = size(T1), N2 = size(T2);
     temp_buf B1(N1), B2(N2), Out(std::min(N1, N2));
@@ -491,8 +626,8 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
   }
 
   static node_t *difference_base(node_t *T1, node_t *T2) {
-    // |T1 \ T2| <= |T1| <= 2B: always a single-leaf-sized result.
-    if (flat_fastpath() && is_flat(T1) && is_flat(T2))
+    if (flat_fastpath() && is_flat(T1) && is_flat(T2) &&
+        TO::flat_merge_wins(TO::encoded_bytes(T1) + TO::encoded_bytes(T2)))
       return difference_flat(T1, T2);
     size_t N1 = size(T1), N2 = size(T2);
     temp_buf B1(N1), B2(N2), Out(N1);
@@ -549,10 +684,21 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return T;
     if (size(T) + N <= kappa() || is_flat(T)) {
       if (flat_fastpath() && is_flat(T) &&
-          TO::flat_merge_wins(size(T) + N)) {
-        // Leaf splice: stream the block against the sorted batch. Oversized
-        // results fold into multiple legal leaves in leaf_writer::finish.
-        leaf_writer W(size(T) + N);
+          TO::flat_merge_wins(TO::encoded_bytes(T) + N * sizeof(entry_t))) {
+        size_t Nt = size(T);
+        if constexpr (TO::leaf_writer::kCanStream) {
+          if (Nt + N > 2 * kB) {
+            // Multi-leaf result: decode the block once and run the tight
+            // array merge into the chunked writer (finished leaves
+            // straight from the batch, dozens of them for a large batch).
+            temp_buf Bt(Nt);
+            flatten(T, Bt.data());
+            Bt.set_count(Nt);
+            return merge_arrays_streamed(Bt.data(), Nt, A, N, Op);
+          }
+        }
+        // Leaf splice: stream the block against the sorted batch.
+        leaf_writer W(Nt + N);
         leaf_reader C(T);
         size_t J = 0;
         while (!C.done() && J < N) {
@@ -618,7 +764,8 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     if (!T || N == 0)
       return T;
     if (is_flat(T) || size(T) <= kappa()) {
-      if (flat_fastpath() && is_flat(T)) {
+      if (flat_fastpath() && is_flat(T) &&
+          TO::flat_merge_wins(TO::encoded_bytes(T))) {
         // Leaf splice: keys in A are sorted and distinct, so each can match
         // at most one block entry.
         leaf_writer W(size(T));
@@ -685,7 +832,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return nullptr;
     if (is_flat(T)) {
       size_t N = T->Size;
-      if (flat_fastpath() && TO::flat_merge_wins(N)) {
+      if (flat_fastpath() && TO::flat_merge_wins(TO::encoded_bytes(T))) {
         // Stream the block through the cursor pair: each kept entry is
         // decoded once on its way out, nothing is materialized for the
         // dropped ones (|result| <= |T| <= 2B always fits one leaf).
@@ -730,7 +877,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return nullptr;
     if (is_flat(T)) {
       size_t N = T->Size;
-      if (flat_fastpath() && TO::flat_merge_wins(N)) {
+      if (flat_fastpath() && TO::flat_merge_wins(TO::encoded_bytes(T))) {
         // Keys pass through untouched (still strictly increasing, as the
         // byte-coded write cursors require); only values are rewritten.
         leaf_writer W(N);

@@ -155,6 +155,7 @@ template <class Entry, bool ValsByteCoded> struct diff_encoder_impl {
     read_cursor &operator=(const read_cursor &) = delete;
 
     bool done() const { return Remaining == 0; }
+    size_t remaining() const { return Remaining; }
     const entry_t &peek() const {
       assert(Remaining && "peek past the end of the block");
       return Cur;
@@ -180,7 +181,10 @@ template <class Entry, bool ValsByteCoded> struct diff_encoder_impl {
 
   /// Streaming writer: byte-codes each entry as it is pushed, so bytes()
   /// is exact at every point and finish() is a single memcpy — no
-  /// encoded_size or encode pass over a materialized array.
+  /// encoded_size or encode pass over a materialized array. cut() seals the
+  /// bytes pushed so far as one complete block and restarts the delta
+  /// chain, so the key after a cut is encoded full-width and every sealed
+  /// chunk decodes independently.
   class write_cursor {
   public:
     static constexpr bool stages_entries = false;
@@ -209,14 +213,41 @@ template <class Entry, bool ValsByteCoded> struct diff_encoder_impl {
       Prev = K;
       ++N;
     }
+    /// Batch push: byte-codes \p Src[0..Count) in one tight loop with the
+    /// chain state held in registers (one writeback), which measures well
+    /// below Count individual push() calls.
+    void push_n(const entry_t *Src, size_t Count) {
+      uint8_t *O = Out;
+      uint64_t P = Prev;
+      size_t I = 0;
+      if (N == 0 && Count) {
+        P = static_cast<uint64_t>(Entry::get_key(Src[0]));
+        O = varint_encode(P, O);
+        O = encode_value(Src[0], O);
+        I = 1;
+      }
+      for (; I < Count; ++I) {
+        uint64_t K = static_cast<uint64_t>(Entry::get_key(Src[I]));
+        assert(K > P && "block keys must be strictly increasing");
+        O = varint_encode(K - P, O);
+        O = encode_value(Src[I], O);
+        P = K;
+      }
+      Out = O;
+      Prev = P;
+      N += Count;
+    }
     size_t count() const { return N; }
     size_t bytes() const { return static_cast<size_t>(Out - Base); }
 
-    void finish(uint8_t *Dst) {
+    /// Seals the current chunk into \p Dst and restarts: release() zeroes
+    /// N and Prev, so the next push re-encodes its key full-width.
+    void cut(uint8_t *Dst) {
       if (N)
         std::memcpy(Dst, Base, bytes());
       release();
     }
+    void finish(uint8_t *Dst) { cut(Dst); }
     void drain(entry_t *DstEntries) {
       decode(Base, N, DstEntries);
       release();

@@ -188,6 +188,7 @@ template <class Entry> struct gamma_encoder {
     read_cursor &operator=(const read_cursor &) = delete;
 
     bool done() const { return Remaining == 0; }
+    size_t remaining() const { return Remaining; }
     const entry_t &peek() const {
       assert(Remaining && "peek past the end of the block");
       return Cur;
@@ -215,6 +216,9 @@ template <class Entry> struct gamma_encoder {
 
   /// Streaming writer: gamma-codes each delta as it is pushed; bytes() is
   /// the exact padded payload size so far and finish() is a single memcpy.
+  /// cut() seals the bytes pushed so far (padding the gamma stream to a
+  /// byte boundary) and restarts at the buffer base: the key after a cut is
+  /// varint-coded full-width, so every sealed chunk decodes independently.
   class write_cursor {
   public:
     static constexpr bool stages_entries = false;
@@ -241,16 +245,46 @@ template <class Entry> struct gamma_encoder {
       Prev = K;
       ++N;
     }
+    /// Batch push: gamma-codes \p Src[0..Count) in one tight loop with the
+    /// bit-writer state held locally (one writeback).
+    void push_n(const entry_t *Src, size_t Count) {
+      if (Count == 0)
+        return;
+      size_t First = 0; // Entries already accounted for by push() below.
+      if (N == 0) {
+        push(Src[0]); // Counts the entry itself (N becomes 1).
+        First = 1;
+      }
+      detail::BitWriter LW = W;
+      uint64_t P = Prev;
+      size_t B = Bits;
+      for (size_t I = First; I < Count; ++I) {
+        uint64_t K = static_cast<uint64_t>(Entry::get_key(Src[I]));
+        assert(K > P && "block keys must be strictly increasing");
+        uint64_t Delta = K - P;
+        detail::gammaPut(LW, Delta);
+        B += detail::gammaBits(Delta);
+        P = K;
+      }
+      W = LW;
+      Prev = P;
+      Bits = B;
+      N += Count - First;
+    }
     size_t count() const { return N; }
     size_t bytes() const {
       return N == 0 ? 0 : VarBytes + (Bits + 7) / 8;
     }
 
-    void finish(uint8_t *Dst) {
+    /// Seals the current chunk into \p Dst and restarts: release() zeroes
+    /// the bit count and Prev, so the next push re-encodes its key as a
+    /// full-width varint at the buffer base.
+    void cut(uint8_t *Dst) {
       if (N)
         std::memcpy(Dst, Base, bytes());
       release();
     }
+    void finish(uint8_t *Dst) { cut(Dst); }
     void drain(entry_t *DstEntries) {
       decode(Base, N, DstEntries);
       release();

@@ -40,13 +40,20 @@
 ///   caller-owned Buf (at least max_bytes(MaxN) bytes):
 ///     push(E)     appends E (moved); keys must arrive in strictly
 ///                 increasing order for delta-coded schemes
-///     count()     entries pushed so far
-///     bytes()     exact encoded payload size of the entries pushed so far
-///     finish(Out) emits the final encoded payload into Out (bytes() bytes,
-///                 e.g. a freshly allocated leaf) and resets the cursor
-///     drain(Out)  moves the staged entries into raw entry storage Out
-///                 instead (the fallback when the result does not fit one
-///                 leaf) and resets the cursor
+///     push_n(A,N) batch append: one tight loop with the chain state in
+///                 registers (a memcpy for the raw scheme)
+///     count()     entries pushed since the last cut()/finish()
+///     bytes()     exact encoded payload size of those entries
+///     cut(Out)    seals the current chunk as a complete, independently
+///                 decodable block in Out (bytes() bytes) and restarts the
+///                 cursor at the buffer base: for delta-coded schemes the
+///                 next pushed key is encoded full-width, beginning a fresh
+///                 delta chain, so one chunk-sized buffer can emit any
+///                 number of finished leaves from a single entry stream
+///     finish(Out) cut() under its end-of-stream name
+///     drain(Out)  moves the staged chunk into raw entry storage Out
+///                 instead (the fallback when the tail of a stream is too
+///                 short to be a legal leaf) and resets the cursor
 ///     release()   drops staged entries; also run by the destructor.
 ///   stages_entries is true when the staged bytes are themselves a plain
 ///   entry array exposed via staged() (raw encoding), letting callers build
@@ -145,6 +152,7 @@ template <class Entry> struct raw_encoder {
     ~read_cursor() { release(); }
 
     bool done() const { return I == N; }
+    size_t remaining() const { return N - I; }
     const entry_t &peek() const {
       assert(I < N && "peek past the end of the block");
       return Src[I];
@@ -204,16 +212,34 @@ template <class Entry> struct raw_encoder {
       ::new (static_cast<void *>(A + N)) entry_t(std::move(E));
       ++N;
     }
+    /// Batch push: moves \p Src[0..Count) into the staging in one pass
+    /// (a memcpy for trivially copyable entries).
+    void push_n(entry_t *Src, size_t Count) {
+      assert(N + Count <= Cap && "write cursor overflow");
+      if constexpr (is_trivial) {
+        if (Count)
+          std::memcpy(static_cast<void *>(A + N), Src,
+                      Count * sizeof(entry_t));
+      } else {
+        for (size_t I = 0; I < Count; ++I)
+          ::new (static_cast<void *>(A + N + I)) entry_t(std::move(Src[I]));
+      }
+      N += Count;
+    }
     size_t count() const { return N; }
     size_t bytes() const { return N * sizeof(entry_t); }
     /// Staged entries (moving out of them is allowed; the cursor still
     /// destroys the husks).
     entry_t *staged() { return A; }
 
-    void finish(uint8_t *Out) {
+    /// Seals the current chunk into \p Out (moving the staged entries) and
+    /// restarts at the buffer base; the raw scheme has no cross-entry state
+    /// to reset, so a cut block is trivially self-contained.
+    void cut(uint8_t *Out) {
       encode(A, N, Out); // Moves non-trivial entries out of the staging.
       release();
     }
+    void finish(uint8_t *Out) { cut(Out); }
     void drain(entry_t *Out) {
       if constexpr (is_trivial) {
         if (N)

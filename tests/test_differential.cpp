@@ -327,4 +327,93 @@ TYPED_TEST(DifferentialSetTest, RandomOpsMatchStdSetBothFastPathSettings) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Multi-leaf chunked outputs (small B included, diff and gamma included).
+//===----------------------------------------------------------------------===//
+
+/// Episodes sized so the flat x flat base cases and leaf splices routinely
+/// emit results spanning many leaves through the chunked write path: a
+/// large, mostly-disjoint key universe keeps union outputs near |A|+|B|
+/// (at B = 8 a single base case then covers several chunks), and the
+/// rebuild-then-multi_insert step streams batches of thousands of entries
+/// against one flat root — dozens of sealed leaves from one cursor stream.
+template <class SetT> void runMultiLeafEpisode(Rng R) {
+  constexpr uint64_t Universe = 200000;
+  SetT S;
+  std::set<uint64_t> O;
+  auto RandomKeys = [&R](size_t N, uint64_t Span) {
+    std::vector<uint64_t> Keys(N);
+    for (auto &K : Keys)
+      K = R.next(Span);
+    return Keys;
+  };
+  for (int Step = 0; Step < 16; ++Step) {
+    switch (R.next(5)) {
+    case 0: { // Union with a large, mostly-disjoint set.
+      auto Keys = RandomKeys(500 + R.next(2000), Universe);
+      S = SetT::map_union(S, SetT(Keys));
+      O.insert(Keys.begin(), Keys.end());
+      checkSetAgainstOracle(S, O, "multi-leaf union");
+      break;
+    }
+    case 1: { // Rebuild tiny (one flat root), then splice a huge batch.
+      auto Seed = RandomKeys(1 + R.next(10), Universe);
+      auto Batch = RandomKeys(1500 + R.next(1500), Universe);
+      S = SetT(Seed).multi_insert(Batch);
+      O.clear();
+      O.insert(Seed.begin(), Seed.end());
+      O.insert(Batch.begin(), Batch.end());
+      checkSetAgainstOracle(S, O, "multi-leaf multi_insert");
+      break;
+    }
+    case 2: { // Difference against a random subset.
+      auto Keys = RandomKeys(R.next(1000), Universe);
+      S = SetT::map_difference(S, SetT(Keys));
+      for (uint64_t K : Keys)
+        O.erase(K);
+      checkSetAgainstOracle(S, O, "multi-leaf difference");
+      break;
+    }
+    case 3: { // multi_delete of a random half of the live keys.
+      std::vector<uint64_t> Keys;
+      for (uint64_t K : O)
+        if (R.next(2))
+          Keys.push_back(K);
+      S = S.multi_delete(Keys);
+      for (uint64_t K : Keys)
+        O.erase(K);
+      checkSetAgainstOracle(S, O, "multi-leaf multi_delete");
+      break;
+    }
+    default: { // Intersect with a supersample of the live keys.
+      auto Keys = RandomKeys(R.next(800), Universe);
+      for (uint64_t K : O)
+        if (R.next(4) != 0)
+          Keys.push_back(K);
+      std::set<uint64_t> OB(Keys.begin(), Keys.end());
+      S = SetT::map_intersect(S, SetT(Keys));
+      std::set<uint64_t> Kept;
+      for (uint64_t K : O)
+        if (OB.count(K))
+          Kept.insert(K);
+      O = std::move(Kept);
+      checkSetAgainstOracle(S, O, "multi-leaf intersect");
+      break;
+    }
+    }
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+}
+
+TYPED_TEST(DifferentialSetTest, MultiLeafChunkedResultsBothFastPathSettings) {
+  test::FlagGuard G(TypeParam::ops::flat_fastpath());
+  for (bool Fast : {false, true}) {
+    TypeParam::ops::flat_fastpath() = Fast;
+    runMultiLeafEpisode<TypeParam>(test::seeded_rng(Fast ? 11 : 22));
+    if (this->HasFatalFailure())
+      break;
+  }
+}
+
 } // namespace

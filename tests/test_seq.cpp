@@ -100,6 +100,44 @@ TYPED_TEST(SeqTest, AppendMatchesConcatenation) {
   EXPECT_EQ(liveObjects(), Before);
 }
 
+TYPED_TEST(SeqTest, AppendAndSplitAtBothFastPathSettings) {
+  // append's flat x flat streaming concat and split_at's cursor splice
+  // must agree with the temp_buf paths for sizes around the chunk
+  // boundaries (flat + flat results of up to 4B entries span two leaves).
+  test::FlagGuard G(TypeParam::ops::flat_fastpath());
+  constexpr size_t B = TypeParam::ops::kB > 0 ? TypeParam::ops::kB : 16;
+  auto R = test::seeded_rng();
+  for (bool Fast : {false, true}) {
+    TypeParam::ops::flat_fastpath() = Fast;
+    for (size_t Na : {size_t(1), B, 2 * B - 1, 2 * B}) {
+      for (size_t Nb : {size_t(1), B - 1, 2 * B}) {
+        std::vector<uint64_t> A(Na), Bv(Nb);
+        for (auto &X : A)
+          X = R.next(1u << 20);
+        for (auto &X : Bv)
+          X = R.next(1u << 20);
+        TypeParam SA(A), SB(Bv);
+        TypeParam C = TypeParam::append(SA, SB);
+        ASSERT_EQ(C.check_invariants(), "")
+            << "fast=" << Fast << " " << Na << "+" << Nb;
+        std::vector<uint64_t> Expect = A;
+        Expect.insert(Expect.end(), Bv.begin(), Bv.end());
+        ASSERT_EQ(C.to_vector(), Expect);
+        // Split the concatenation back apart at the seam and off-seam.
+        for (size_t Cut : {size_t(0), Na, Na + Nb / 2, Na + Nb}) {
+          TypeParam L = C.take(Cut), Rt = C.drop(Cut);
+          ASSERT_EQ(L.check_invariants(), "");
+          ASSERT_EQ(Rt.check_invariants(), "");
+          ASSERT_EQ(L.size() + Rt.size(), Expect.size());
+          auto LV = L.to_vector(), RV = Rt.to_vector();
+          LV.insert(LV.end(), RV.begin(), RV.end());
+          ASSERT_EQ(LV, Expect) << "fast=" << Fast << " cut=" << Cut;
+        }
+      }
+    }
+  }
+}
+
 TYPED_TEST(SeqTest, Reverse) {
   std::vector<uint64_t> V(4321);
   std::iota(V.begin(), V.end(), 5);

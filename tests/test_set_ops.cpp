@@ -265,8 +265,9 @@ TEST_F(FlatFastPath, OversizedLeafFolding) {
       ASSERT_EQ(Small.check_invariants(), "") << "fast=" << Fast;
       ASSERT_EQ(Small.size(), 3u);
       // Near-2B splice: total stays within one leaf, so byte-coded
-      // encoders take the streaming cursor splice too (for batches past
-      // 2B they dispatch back to the array path via flat_merge_wins).
+      // encoders take the single-leaf streaming splice (batches past 2B
+      // instead run the chunked multi-leaf merge — PR 5 removed the old
+      // array-path fallback gate).
       size_t B2 = TwoB / 2; // == block-size B.
       Set Partial = Set::from_sorted(
           std::vector<uint64_t>(Evens.begin(), Evens.begin() + B2 + 2));
