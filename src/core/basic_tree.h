@@ -765,38 +765,151 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     size_t N = 0;
   };
 
-  /// Encoded payload bytes of \p T: exact for flat nodes, an entry-array
-  /// estimate otherwise (callers add batch arrays as count * sizeof).
-  static size_t encoded_bytes(const node_t *T) {
-    if (is_flat(T))
-      return static_cast<const typename NL::flat_t *>(T)->Bytes;
-    return size(T) * sizeof(entry_t);
-  }
-
-  /// Measured break-even for the cursor merge, in combined encoded operand
-  /// bytes: the streaming path is taken when the operands carry at least
-  /// this much encoded payload. The PR 5 measurements (BENCH_PR5.json)
-  /// show the chunked stream ahead of the array path from the smallest
-  /// leaf-sized operands up for all three encoders, so the default admits
-  /// everything; the knob stays runtime-mutable (single-threaded setup
-  /// code only) for A/B benchmarks and for hosts that measure differently.
-  static constexpr size_t kFlatStreamMinBytesDefault = 0;
-  static size_t &flat_stream_min_bytes() {
-    static size_t V = kFlatStreamMinBytesDefault;
+  /// Measured break-even for the cursor merge, in combined operand
+  /// *entries*. Entries are the one unit every call site can measure
+  /// exactly: encoded payload bytes undercount a raw batch array by the
+  /// compression factor, which is how multi_insert's accounting drifted
+  /// from the set ops' (it mixed encoded bytes of the tree with
+  /// `N * sizeof(entry_t)` of the batch). The default is the measured
+  /// crossover for the byte-coded encoders (bench_merge / perf_smoke flat
+  /// rows): at ~32 merged entries (B=8 leaf pairs) the cursor machinery's
+  /// per-merge setup loses ~15% to the array path even on sorted-run
+  /// shapes, while at ~512 entries (B=128 pairs) streaming wins 13-26% on
+  /// those shapes; 128 splits the gap at the scale where the two paths
+  /// measured even. Entry-staging encodings ignore this (their staging
+  /// array already is the output). Runtime-mutable (single-threaded setup
+  /// code only) for A/B benchmarks and hosts that measure differently.
+  static constexpr size_t kFlatStreamMinEntriesDefault = 128;
+  static size_t &flat_stream_min_entries() {
+    static size_t V = kFlatStreamMinEntriesDefault;
     return V;
   }
 
   /// True when the cursor merge beats the array base case for flat operands
-  /// carrying \p OperandBytes of encoded payload in total. Since the
-  /// chunked writer emits any number of finished leaves from one stream,
-  /// this is a pure measured break-even, not a capability gate: entry-
-  /// staging encodings always win (the staging area doubles as the output),
-  /// byte-coded encodings win from flat_stream_min_bytes() up. Augmented
+  /// carrying \p OperandEntries entries in total (both operands summed, a
+  /// batch array counting each element as one entry). Since the chunked
+  /// writer emits any number of finished leaves from one stream, this is a
+  /// pure measured break-even, not a capability gate: entry-staging
+  /// encodings always win (the staging area doubles as the output),
+  /// byte-coded encodings win from flat_stream_min_entries() up. Augmented
   /// trees keep the array path (aggregates need the entries materialized).
-  static bool flat_merge_wins(size_t OperandBytes) {
+  static bool flat_merge_wins(size_t OperandEntries) {
     if (NL::encoder::write_cursor::stages_entries)
       return true;
-    return leaf_writer::kCanStream && OperandBytes >= flat_stream_min_bytes();
+    return leaf_writer::kCanStream &&
+           OperandEntries >= flat_stream_min_entries();
+  }
+
+  /// Capability-only variant for single-pass splices with bounded output:
+  /// point insert/remove, split/split_last, filter/map, seq split_at and
+  /// concat, and intersect/difference of two leaves. Those paths have no
+  /// winner-run hazard (each side is consumed in one monotone pass and the
+  /// result fits a leaf or is a pure concat), and streaming measured as a
+  /// win for them even at the smallest block sizes where the merge-style
+  /// ops lose (BENCH_PR5: intersect/difference diff B=8 1.26x/1.39x), so
+  /// the flat_stream_min_entries() merge break-even does not apply.
+  static bool flat_splice_wins() {
+    return NL::encoder::write_cursor::stages_entries ||
+           leaf_writer::kCanStream;
+  }
+
+  //===--------------------------------------------------------------------===
+  // parallel_flat_merge: quantile-split chunked merges.
+  //===--------------------------------------------------------------------===
+
+  /// Hard cap on quantile-split chunks per merge. Bounds the on-stack
+  /// boundary and part arrays, and keeps the join fan-in cheap; 64 chunks
+  /// of parallel_merge_grain() entries each saturate far more workers than
+  /// the elastic pool ever runs.
+  static constexpr size_t kMaxMergeChunks = 64;
+
+  /// Minimum entries of merge work per chunk before a flat merge is split
+  /// at key quantiles and run as parallel chunk merges. Reuses the
+  /// scheduler fork granularity default — a chunk is one fork's worth of
+  /// work. 0 disables the parallel path. Runtime-mutable (single-threaded
+  /// setup code only) so the differential tests can lower it to force
+  /// chunked runs on small inputs and the merge benches can A/B it.
+  static constexpr size_t kParallelMergeGrainDefault = kParGranDefault;
+  static size_t &parallel_merge_grain() {
+    static size_t G = kParallelMergeGrainDefault;
+    return G;
+  }
+
+  /// Number of chunks a merge over \p Total combined entries (larger
+  /// operand: \p Larger entries) splits into; 1 means "run sequentially".
+  /// Depends only on operand sizes and the grain knob — never on the
+  /// worker count — so the chunking, and with it the output tree, is
+  /// identical at any thread count.
+  static size_t merge_chunk_count(size_t Total, size_t Larger) {
+    size_t G = parallel_merge_grain();
+    if (G == 0 || Total < 2 * G)
+      return 1;
+    size_t C = std::min(std::min(Total / G, kMaxMergeChunks), Larger);
+    return C < 2 ? 1 : C;
+  }
+
+  /// Quantile-split parallel merge driver. Splits the sorted inputs
+  /// A[0..N1) (entries) and B[0..N2) (any sorted key-carrying elements,
+  /// keys read via \p KB) into \p C aligned chunk pairs at key quantiles
+  /// of the larger side, runs \p MC(AChunk, An, BChunk, Bn) -> node_t* on
+  /// each pair under scheduler forks, and joins the per-chunk trees
+  /// weight-balanced. A boundary key starts the *right* chunk on both
+  /// sides (lower_bound), so equal-key pairs land in the same chunk and
+  /// every chunk merge sees a self-contained key range.
+  template <class EltB, class KeyOfB, class ChunkMerge>
+  static node_t *parallel_flat_merge(entry_t *A, size_t N1, EltB *B,
+                                     size_t N2, const KeyOfB &KB, size_t C,
+                                     const ChunkMerge &MC) {
+    assert(C >= 2 && C <= kMaxMergeChunks && "merge_chunk_count sizes C");
+    size_t IA[kMaxMergeChunks + 1], IB[kMaxMergeChunks + 1];
+    IA[0] = IB[0] = 0;
+    IA[C] = N1;
+    IB[C] = N2;
+    auto LbB = [&](const key_t &K) {
+      size_t Lo = 0, Hi = N2;
+      while (Lo < Hi) {
+        size_t Mid = Lo + (Hi - Lo) / 2;
+        if (Entry::comp(KB(B[Mid]), K))
+          Lo = Mid + 1;
+        else
+          Hi = Mid;
+      }
+      return Lo;
+    };
+    for (size_t I = 1; I < C; ++I) {
+      // Quantile ranks on the larger side are exact boundaries (keys are
+      // distinct within a side); the smaller side splits by binary search
+      // on the same key, so the boundary keys — and the chunking — are a
+      // pure function of the inputs.
+      if (N1 >= N2) {
+        IA[I] = I * N1 / C;
+        IB[I] = LbB(Entry::get_key(A[IA[I]]));
+      } else {
+        IB[I] = I * N2 / C;
+        IA[I] = lower_bound_idx(A, N1, KB(B[IB[I]]));
+      }
+    }
+    node_t *Parts[kMaxMergeChunks];
+    par::parallel_for(
+        0, C,
+        [&](size_t I) {
+          Parts[I] = MC(A + IA[I], IA[I + 1] - IA[I], B + IB[I],
+                        IB[I + 1] - IB[I]);
+        },
+        /*Granularity=*/1);
+    return join_parts(Parts, C);
+  }
+
+  /// Balanced concatenation of \p K adjacent chunk trees: divide and
+  /// conquer so intermediate joins stay near-balanced regardless of how
+  /// the per-chunk output sizes skew.
+  static node_t *join_parts(node_t **P, size_t K) {
+    if (K == 1)
+      return P[0];
+    size_t Mid = K / 2;
+    node_t *L = join_parts(P, Mid);
+    node_t *R = join_parts(P + Mid, K - Mid);
+    return join2(L, R);
   }
 
   //===--------------------------------------------------------------------===
@@ -829,7 +942,7 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
       return {};
     if (is_flat(T)) {
       size_t N = T->Size;
-      if (flat_fastpath() && flat_merge_wins(encoded_bytes(T))) {
+      if (flat_fastpath() && flat_splice_wins()) {
         // Leaf splice: stream the block into the two sides, never
         // materializing it (each entry is decoded once on its way out).
         leaf_reader C(T);
@@ -883,7 +996,7 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     assert(T && "split_last on empty tree");
     if (is_flat(T)) {
       size_t N = T->Size;
-      if (flat_fastpath() && flat_merge_wins(encoded_bytes(T))) {
+      if (flat_fastpath() && flat_splice_wins()) {
         // Leaf splice: stream all but the last entry straight into the
         // result block.
         leaf_reader C(T);

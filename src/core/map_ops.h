@@ -21,6 +21,8 @@
 #ifndef CPAM_CORE_MAP_OPS_H
 #define CPAM_CORE_MAP_OPS_H
 
+#include <algorithm>
+#include <atomic>
 #include <optional>
 
 #include "src/core/basic_tree.h"
@@ -259,7 +261,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return NL::singleton(std::move(E));
     if (is_flat(T)) {
       size_t N = T->Size;
-      if (flat_fastpath() && TO::flat_merge_wins(TO::encoded_bytes(T))) {
+      if (flat_fastpath() && TO::flat_splice_wins()) {
         // Leaf splice: copy-prefix / splice / copy-suffix through the
         // cursor pair — no whole-block materialization for a one-entry
         // change. A 2B+1-entry result chunks into two leaves.
@@ -307,7 +309,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return nullptr;
     if (is_flat(T)) {
       size_t N = T->Size;
-      if (flat_fastpath() && TO::flat_merge_wins(TO::encoded_bytes(T))) {
+      if (flat_fastpath() && TO::flat_splice_wins()) {
         // Leaf splice: stream everything but the matching entry.
         leaf_writer W(N);
         leaf_reader C(T);
@@ -377,6 +379,78 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     return K;
   }
 
+  /// Probe window, in emitted entries, of the run-length-adaptive fallback
+  /// inside merge_arrays_streamed: after each window of output the merge
+  /// compares emissions against winner-run count and, when runs have
+  /// degenerated toward length 1, abandons per-entry streaming for one
+  /// decoded-array merge plus one batch encode of the remainder. 0
+  /// disables the fallback. Runtime-mutable (single-threaded setup code
+  /// only) for the A/B benches and the fallback-trigger tests.
+  static constexpr size_t kMergeProbeWindowDefault = 64;
+  static size_t &merge_probe_window() {
+    static size_t W = kMergeProbeWindowDefault;
+    return W;
+  }
+
+  /// How many streamed merges have bailed out through the run-length
+  /// fallback since process start — up front via probe_runs_degenerate or
+  /// mid-merge via the window check (test and bench telemetry; relaxed —
+  /// readers quiesce the scheduler before asserting on it).
+  static std::atomic<uint64_t> &merge_fallback_count() {
+    static std::atomic<uint64_t> C{0};
+    return C;
+  }
+
+  /// Dry-run of the merge's first probe-window of output: pure compares
+  /// over the decoded operand prefixes, counting winner runs, no writer
+  /// and no moves. Returns true when the average run length is already
+  /// below 2 — dense interleave or heavy duplication — where per-entry
+  /// streaming measures slower than one array merge plus one batch
+  /// encode, so the caller should skip the streamed path entirely (and
+  /// save its cursor setup too). Merges whose prefix looks runs-y but
+  /// degenerates later are caught by the same check windowed inside
+  /// merge_arrays_streamed.
+  static bool probe_runs_degenerate(const entry_t *A, size_t N1,
+                                    const entry_t *B, size_t N2) {
+    size_t W = merge_probe_window();
+    if (W == 0)
+      return false;
+    // Fully degenerate shapes announce themselves fast, so bail at a
+    // quarter window; only marginal shapes pay for the whole probe.
+    size_t Check = std::max<size_t>(W / 4, 1);
+    size_t I = 0, J = 0, Emit = 0, Runs = 0;
+    while (Emit < W && I < N1 && J < N2) {
+      // Each gallop stops at the window's edge: a run longer than the
+      // remaining window proves the shape non-degenerate all by itself,
+      // and scanning past W would bill every probe a full-operand walk on
+      // exactly the disjoint/long-run shapes that should pay nothing.
+      if (key_less(entry_key(A[I]), entry_key(B[J]))) {
+        size_t R = I + 1, Cap = std::min(N1, I + (W - Emit));
+        while (R < Cap && key_less(entry_key(A[R]), entry_key(B[J])))
+          ++R;
+        Emit += R - I;
+        I = R;
+      } else if (key_less(entry_key(B[J]), entry_key(A[I]))) {
+        size_t R = J + 1, Cap = std::min(N2, J + (W - Emit));
+        while (R < Cap && key_less(entry_key(B[R]), entry_key(A[I])))
+          ++R;
+        Emit += R - J;
+        J = R;
+      } else {
+        ++Emit;
+        ++I;
+        ++J;
+      }
+      ++Runs;
+      if (Emit >= Check) {
+        if (Emit < 2 * Runs)
+          return true;
+        Check = W;
+      }
+    }
+    return Emit < 2 * Runs;
+  }
+
   /// Fused two-array merge+encode into the chunked leaf writer, for
   /// results that can span leaves: each winning entry is byte-coded on the
   /// spot (push_ahead — no staging pass, no encoded_size pass) while the
@@ -394,6 +468,14 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
                   "streamed merges are byte-coded, blocked, unaugmented");
     size_t I = 0, J = 0;
     leaf_chunk_writer W(N1 + N2);
+    // Run-length probe state: every ProbeW emitted entries the loop checks
+    // the average winner-run length; dense interleave and heavy
+    // duplication degrade it toward 1, where the gallop is a per-entry
+    // compare/encode chain and the decoded-array path (one merge pass, one
+    // batch encode) measures faster. The window is scaled down for small
+    // merges so leaf-sized dense merges can still bail out early.
+    size_t ProbeW = std::min(merge_probe_window(), (N1 + N2) / 4);
+    size_t WinEmit = 0, WinRuns = 0;
     // Galloping batch merge: a pure compare scan finds each run of
     // consecutive winners from one side, then a single push_ahead_n
     // batch-encodes it — compares and encodes run in separate tight
@@ -401,6 +483,22 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     // are clamped so the push_ahead guarantee (>= B+1 entries follow
     // every seal) always holds against the exact remainders.
     while (I < N1 && J < N2 && (N1 - I >= kB + 2 || N2 - J >= kB + 2)) {
+      if (ProbeW != 0 && WinEmit >= ProbeW) {
+        if (WinEmit < 2 * WinRuns) {
+          // Runs degenerated (average < 2): merge the remainders in one
+          // array pass and batch-encode, handing finish_tail its B+1
+          // hold-back so every chunk sealed here keeps a legal successor.
+          merge_fallback_count().fetch_add(1, std::memory_order_relaxed);
+          temp_buf Rest((N1 - I) + (N2 - J));
+          size_t K = merge_move(A + I, N1 - I, B + J, N2 - J, Rest, Op);
+          if (K > kB + 1) {
+            W.push_ahead_n(Rest.data(), K - (kB + 1));
+            return W.finish_tail(Rest.data() + (K - (kB + 1)), kB + 1);
+          }
+          return W.finish_tail(Rest.data(), K);
+        }
+        WinEmit = WinRuns = 0;
+      }
       if (key_less(entry_key(A[I]), entry_key(B[J]))) {
         size_t R = I + 1;
         while (R < N1 && key_less(entry_key(A[R]), entry_key(B[J])))
@@ -413,6 +511,8 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
             break;
         }
         W.push_ahead_n(A + I, R - I);
+        WinEmit += R - I;
+        ++WinRuns;
         I = R;
       } else if (key_less(entry_key(B[J]), entry_key(A[I]))) {
         size_t R = J + 1;
@@ -426,10 +526,14 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
             break;
         }
         W.push_ahead_n(B + J, R - J);
+        WinEmit += R - J;
+        ++WinRuns;
         J = R;
       } else {
         W.push_ahead(combine_entries(std::move(A[I++]), B[J], Op));
         ++J;
+        ++WinEmit;
+        ++WinRuns;
       }
     }
     // A side whose partner is exhausted batch-encodes all but the B+1
@@ -448,6 +552,160 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     temp_buf TailB((N1 - I) + (N2 - J));
     size_t K = merge_move(A + I, N1 - I, B + J, N2 - J, TailB, Op);
     return W.finish_tail(TailB.data(), K);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Array-merge dispatchers: every sorted-array merge base case funnels
+  // through one of these, which splits the work at key quantiles
+  // (tree_ops::parallel_flat_merge) whenever merge_chunk_count — a pure
+  // function of the operand sizes — says the operands carry at least two
+  // chunks' worth, and otherwise runs the single-stream chunk merge
+  // inline. Chunk boundaries never depend on the worker count, so the
+  // output tree is identical at any thread count.
+  //===--------------------------------------------------------------------===
+
+  /// One union chunk over sorted entry arrays: the fused stream+encode
+  /// when the encoding supports it (with the run-length fallback inside),
+  /// else the array merge + build — which is both the production fallback
+  /// and the entry-staging build, itself one batch encode.
+  template <class CombineOp>
+  static node_t *union_chunk(entry_t *A, size_t N1, entry_t *B, size_t N2,
+                             const CombineOp &Op) {
+    if constexpr (TO::leaf_writer::kCanStream) {
+      if (flat_fastpath() && N1 + N2 > 2 * kB &&
+          TO::flat_merge_wins(N1 + N2)) {
+        if (!probe_runs_degenerate(A, N1, B, N2))
+          return merge_arrays_streamed(A, N1, B, N2, Op);
+        merge_fallback_count().fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    temp_buf Out(N1 + N2);
+    size_t K = merge_move(A, N1, B, N2, Out, Op);
+    return from_array_move(Out.data(), K);
+  }
+
+  /// One intersect chunk: matched keys combine, everything else drops.
+  template <class CombineOp>
+  static node_t *intersect_chunk(entry_t *A, size_t N1, entry_t *B, size_t N2,
+                                 const CombineOp &Op) {
+    temp_buf Out(std::min(N1, N2));
+    entry_t *O = Out.data();
+    size_t I = 0, J = 0, K = 0;
+    while (I < N1 && J < N2) {
+      if (key_less(entry_key(A[I]), entry_key(B[J])))
+        ++I;
+      else if (key_less(entry_key(B[J]), entry_key(A[I])))
+        ++J;
+      else {
+        ::new (static_cast<void *>(O + K++))
+            entry_t(combine_entries(std::move(A[I]), B[J], Op));
+        Out.set_count(K);
+        ++I;
+        ++J;
+      }
+    }
+    return from_array_move(O, K);
+  }
+
+  /// One difference chunk: keeps A-entries whose keys are absent from B.
+  static node_t *difference_chunk(entry_t *A, size_t N1, entry_t *B,
+                                  size_t N2) {
+    temp_buf Out(N1);
+    entry_t *O = Out.data();
+    size_t I = 0, J = 0, K = 0;
+    while (I < N1) {
+      while (J < N2 && key_less(entry_key(B[J]), entry_key(A[I])))
+        ++J;
+      if (J < N2 && !key_less(entry_key(A[I]), entry_key(B[J]))) {
+        ++I; // Present in B: drop.
+        continue;
+      }
+      ::new (static_cast<void *>(O + K++)) entry_t(std::move(A[I++]));
+      Out.set_count(K);
+    }
+    return from_array_move(O, K);
+  }
+
+  /// One multi_delete chunk: keeps entries of B whose keys are absent from
+  /// the sorted, distinct key array A.
+  static node_t *erase_chunk(entry_t *B, size_t Nt, const key_t *A,
+                             size_t N) {
+    temp_buf Out(Nt);
+    entry_t *O = Out.data();
+    size_t I = 0, J = 0, K = 0;
+    while (I < Nt) {
+      while (J < N && key_less(A[J], entry_key(B[I])))
+        ++J;
+      if (J < N && !key_less(entry_key(B[I]), A[J])) {
+        ++I;
+        continue;
+      }
+      ::new (static_cast<void *>(O + K++)) entry_t(std::move(B[I++]));
+      Out.set_count(K);
+    }
+    return from_array_move(O, K);
+  }
+
+  /// Key extractor for entry arrays (parallel_flat_merge's KeyOfB).
+  struct key_of_entry_t {
+    const key_t &operator()(const entry_t &E) const {
+      return Entry::get_key(E);
+    }
+  };
+
+  /// Union-merge of two sorted entry arrays (moved out) into a tree,
+  /// parallel above the quantile-split threshold.
+  template <class CombineOp>
+  static node_t *merge_arrays(entry_t *A, size_t N1, entry_t *B, size_t N2,
+                              const CombineOp &Op) {
+    size_t C = TO::merge_chunk_count(N1 + N2, std::max(N1, N2));
+    auto Chunk = [&Op](entry_t *CA, size_t Cn1, entry_t *CB, size_t Cn2) {
+      return union_chunk(CA, Cn1, CB, Cn2, Op);
+    };
+    if (C >= 2)
+      return TO::parallel_flat_merge(A, N1, B, N2, key_of_entry_t{}, C,
+                                     Chunk);
+    return Chunk(A, N1, B, N2);
+  }
+
+  /// Intersection of two sorted entry arrays (matches moved out), parallel
+  /// above the quantile-split threshold.
+  template <class CombineOp>
+  static node_t *intersect_arrays(entry_t *A, size_t N1, entry_t *B,
+                                  size_t N2, const CombineOp &Op) {
+    size_t C = TO::merge_chunk_count(N1 + N2, std::max(N1, N2));
+    auto Chunk = [&Op](entry_t *CA, size_t Cn1, entry_t *CB, size_t Cn2) {
+      return intersect_chunk(CA, Cn1, CB, Cn2, Op);
+    };
+    if (C >= 2)
+      return TO::parallel_flat_merge(A, N1, B, N2, key_of_entry_t{}, C,
+                                     Chunk);
+    return Chunk(A, N1, B, N2);
+  }
+
+  /// Difference of two sorted entry arrays (survivors moved out), parallel
+  /// above the quantile-split threshold.
+  static node_t *difference_arrays(entry_t *A, size_t N1, entry_t *B,
+                                   size_t N2) {
+    size_t C = TO::merge_chunk_count(N1 + N2, std::max(N1, N2));
+    if (C >= 2)
+      return TO::parallel_flat_merge(A, N1, B, N2, key_of_entry_t{}, C,
+                                     &map_ops::difference_chunk);
+    return difference_chunk(A, N1, B, N2);
+  }
+
+  /// Erases the sorted, distinct keys K[0..N) from the sorted entry array
+  /// B (survivors moved out), parallel above the quantile-split threshold.
+  static node_t *erase_arrays(entry_t *B, size_t Nt, const key_t *K,
+                              size_t N) {
+    size_t C = TO::merge_chunk_count(Nt + N, std::max(Nt, N));
+    auto KeyOfKey = [](const key_t &Key) -> const key_t & { return Key; };
+    auto Chunk = [](entry_t *CB, size_t Cn, const key_t *CK, size_t Cm) {
+      return erase_chunk(CB, Cn, CK, Cm);
+    };
+    if (C >= 2)
+      return TO::parallel_flat_merge(B, Nt, K, N, KeyOfKey, C, Chunk);
+    return Chunk(B, Nt, K, N);
   }
 
   /// Merges two encoded blocks directly. Results that fit one leaf merge
@@ -473,7 +731,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
         B1.set_count(N1);
         flatten(T2, B2.data());
         B2.set_count(N2);
-        return merge_arrays_streamed(B1.data(), N1, B2.data(), N2, Op);
+        return merge_arrays(B1.data(), N1, B2.data(), N2, Op);
       }
     }
     leaf_writer W(N1 + N2);
@@ -532,17 +790,17 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
 
   template <class CombineOp>
   static node_t *union_base(node_t *T1, node_t *T2, const CombineOp &Op) {
-    if (flat_fastpath() && is_flat(T1) && is_flat(T2) &&
-        TO::flat_merge_wins(TO::encoded_bytes(T1) + TO::encoded_bytes(T2)))
-      return union_flat(T1, T2, Op);
     size_t N1 = size(T1), N2 = size(T2);
-    temp_buf B1(N1), B2(N2), Out(N1 + N2);
+    if (TO::merge_chunk_count(N1 + N2, std::max(N1, N2)) < 2 &&
+        flat_fastpath() && is_flat(T1) && is_flat(T2) &&
+        TO::flat_merge_wins(N1 + N2))
+      return union_flat(T1, T2, Op);
+    temp_buf B1(N1), B2(N2);
     flatten(T1, B1.data());
     B1.set_count(N1);
     flatten(T2, B2.data());
     B2.set_count(N2);
-    size_t K = merge_move(B1.data(), N1, B2.data(), N2, Out, Op);
-    return from_array_move(Out.data(), K);
+    return merge_arrays(B1.data(), N1, B2.data(), N2, Op);
   }
 
   /// union of two owned trees; values of duplicate keys combine as
@@ -570,31 +828,17 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
 
   template <class CombineOp>
   static node_t *intersect_base(node_t *T1, node_t *T2, const CombineOp &Op) {
-    if (flat_fastpath() && is_flat(T1) && is_flat(T2) &&
-        TO::flat_merge_wins(TO::encoded_bytes(T1) + TO::encoded_bytes(T2)))
-      return intersect_flat(T1, T2, Op);
     size_t N1 = size(T1), N2 = size(T2);
-    temp_buf B1(N1), B2(N2), Out(std::min(N1, N2));
+    if (TO::merge_chunk_count(N1 + N2, std::max(N1, N2)) < 2 &&
+        flat_fastpath() && is_flat(T1) && is_flat(T2) &&
+        TO::flat_splice_wins())
+      return intersect_flat(T1, T2, Op);
+    temp_buf B1(N1), B2(N2);
     flatten(T1, B1.data());
     B1.set_count(N1);
     flatten(T2, B2.data());
     B2.set_count(N2);
-    entry_t *A = B1.data(), *B = B2.data(), *O = Out.data();
-    size_t I = 0, J = 0, K = 0;
-    while (I < N1 && J < N2) {
-      if (key_less(entry_key(A[I]), entry_key(B[J])))
-        ++I;
-      else if (key_less(entry_key(B[J]), entry_key(A[I])))
-        ++J;
-      else {
-        ::new (static_cast<void *>(O + K++))
-            entry_t(combine_entries(std::move(A[I]), B[J], Op));
-        Out.set_count(K);
-        ++I;
-        ++J;
-      }
-    }
-    return from_array_move(O, K);
+    return intersect_arrays(B1.data(), N1, B2.data(), N2, Op);
   }
 
   /// Intersection of two owned trees; kept values combine as
@@ -626,28 +870,17 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
   }
 
   static node_t *difference_base(node_t *T1, node_t *T2) {
-    if (flat_fastpath() && is_flat(T1) && is_flat(T2) &&
-        TO::flat_merge_wins(TO::encoded_bytes(T1) + TO::encoded_bytes(T2)))
-      return difference_flat(T1, T2);
     size_t N1 = size(T1), N2 = size(T2);
-    temp_buf B1(N1), B2(N2), Out(N1);
+    if (TO::merge_chunk_count(N1 + N2, std::max(N1, N2)) < 2 &&
+        flat_fastpath() && is_flat(T1) && is_flat(T2) &&
+        TO::flat_splice_wins())
+      return difference_flat(T1, T2);
+    temp_buf B1(N1), B2(N2);
     flatten(T1, B1.data());
     B1.set_count(N1);
     flatten(T2, B2.data());
     B2.set_count(N2);
-    entry_t *A = B1.data(), *B = B2.data(), *O = Out.data();
-    size_t I = 0, J = 0, K = 0;
-    while (I < N1) {
-      while (J < N2 && key_less(entry_key(B[J]), entry_key(A[I])))
-        ++J;
-      if (J < N2 && !key_less(entry_key(A[I]), entry_key(B[J]))) {
-        ++I; // Present in T2: drop.
-        continue;
-      }
-      ::new (static_cast<void *>(O + K++)) entry_t(std::move(A[I++]));
-      Out.set_count(K);
-    }
-    return from_array_move(O, K);
+    return difference_arrays(B1.data(), N1, B2.data(), N2);
   }
 
   /// Difference T1 \ T2 of two owned trees.
@@ -683,21 +916,15 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     if (N == 0)
       return T;
     if (size(T) + N <= kappa() || is_flat(T)) {
-      if (flat_fastpath() && is_flat(T) &&
-          TO::flat_merge_wins(TO::encoded_bytes(T) + N * sizeof(entry_t))) {
-        size_t Nt = size(T);
-        if constexpr (TO::leaf_writer::kCanStream) {
-          if (Nt + N > 2 * kB) {
-            // Multi-leaf result: decode the block once and run the tight
-            // array merge into the chunked writer (finished leaves
-            // straight from the batch, dozens of them for a large batch).
-            temp_buf Bt(Nt);
-            flatten(T, Bt.data());
-            Bt.set_count(Nt);
-            return merge_arrays_streamed(Bt.data(), Nt, A, N, Op);
-          }
-        }
-        // Leaf splice: stream the block against the sorted batch.
+      size_t Nt = size(T);
+      // The same break-even gates every base case now: total operand
+      // entries (the batch counts one per element — the old gate priced
+      // it in raw bytes, which meant a different threshold here than on
+      // the set ops).
+      if (flat_fastpath() && is_flat(T) && TO::flat_merge_wins(Nt + N) &&
+          Nt + N <= 2 * kB) {
+        // Leaf splice: stream the block against the sorted batch (result
+        // fits one leaf; anything wider goes through merge_arrays below).
         leaf_writer W(Nt + N);
         leaf_reader C(T);
         size_t J = 0;
@@ -717,32 +944,14 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
           W.push(std::move(A[J]));
         return W.finish();
       }
-      // Flatten + merge base case (also folds oversized leaves correctly).
-      size_t Nt = size(T);
-      temp_buf Bt(Nt), Out(Nt + N);
+      // Flatten + merge base case (also folds oversized leaves
+      // correctly). merge_arrays picks the fused stream+encode, the
+      // quantile-split parallel driver, or the plain array merge — so a
+      // large batch against a flat root no longer encodes on one worker.
+      temp_buf Bt(Nt);
       flatten(T, Bt.data());
       Bt.set_count(Nt);
-      entry_t *B = Bt.data(), *O = Out.data();
-      size_t I = 0, J = 0, K = 0;
-      while (I < Nt && J < N) {
-        if (key_less(entry_key(B[I]), entry_key(A[J])))
-          ::new (static_cast<void *>(O + K++)) entry_t(std::move(B[I++]));
-        else if (key_less(entry_key(A[J]), entry_key(B[I])))
-          ::new (static_cast<void *>(O + K++)) entry_t(std::move(A[J++]));
-        else {
-          ::new (static_cast<void *>(O + K++))
-              entry_t(combine_entries(std::move(B[I]), A[J], Op));
-          ++I;
-          ++J;
-        }
-        Out.set_count(K);
-      }
-      for (; I < Nt; ++I, ++K)
-        ::new (static_cast<void *>(O + K)) entry_t(std::move(B[I]));
-      for (; J < N; ++J, ++K)
-        ::new (static_cast<void *>(O + K)) entry_t(std::move(A[J]));
-      Out.set_count(K);
-      return from_array_move(O, K);
+      return merge_arrays(Bt.data(), Nt, A, N, Op);
     }
     exposed X = expose(T);
     size_t S = lower_bound_idx(A, N, entry_key(X.E));
@@ -764,11 +973,12 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     if (!T || N == 0)
       return T;
     if (is_flat(T) || size(T) <= kappa()) {
-      if (flat_fastpath() && is_flat(T) &&
-          TO::flat_merge_wins(TO::encoded_bytes(T))) {
+      size_t Nt = size(T);
+      if (TO::merge_chunk_count(Nt + N, std::max(Nt, N)) < 2 &&
+          flat_fastpath() && is_flat(T) && TO::flat_merge_wins(Nt + N)) {
         // Leaf splice: keys in A are sorted and distinct, so each can match
         // at most one block entry.
-        leaf_writer W(size(T));
+        leaf_writer W(Nt);
         leaf_reader C(T);
         size_t J = 0;
         while (!C.done()) {
@@ -783,23 +993,12 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
         }
         return W.finish();
       }
-      size_t Nt = size(T);
-      temp_buf Bt(Nt), Out(Nt);
+      // Flatten + erase base case; erase_arrays splits a large delete
+      // batch against a flat root into parallel quantile chunks.
+      temp_buf Bt(Nt);
       flatten(T, Bt.data());
       Bt.set_count(Nt);
-      entry_t *B = Bt.data(), *O = Out.data();
-      size_t I = 0, J = 0, K = 0;
-      while (I < Nt) {
-        while (J < N && key_less(A[J], entry_key(B[I])))
-          ++J;
-        if (J < N && !key_less(entry_key(B[I]), A[J])) {
-          ++I;
-          continue;
-        }
-        ::new (static_cast<void *>(O + K++)) entry_t(std::move(B[I++]));
-        Out.set_count(K);
-      }
-      return from_array_move(O, K);
+      return erase_arrays(Bt.data(), Nt, A, N);
     }
     exposed X = expose(T);
     size_t Lo = 0, Hi = N;
@@ -832,7 +1031,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return nullptr;
     if (is_flat(T)) {
       size_t N = T->Size;
-      if (flat_fastpath() && TO::flat_merge_wins(TO::encoded_bytes(T))) {
+      if (flat_fastpath() && TO::flat_splice_wins()) {
         // Stream the block through the cursor pair: each kept entry is
         // decoded once on its way out, nothing is materialized for the
         // dropped ones (|result| <= |T| <= 2B always fits one leaf).
@@ -877,7 +1076,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return nullptr;
     if (is_flat(T)) {
       size_t N = T->Size;
-      if (flat_fastpath() && TO::flat_merge_wins(TO::encoded_bytes(T))) {
+      if (flat_fastpath() && TO::flat_splice_wins()) {
         // Keys pass through untouched (still strictly increasing, as the
         // byte-coded write cursors require); only values are rewritten.
         leaf_writer W(N);

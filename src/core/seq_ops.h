@@ -79,7 +79,7 @@ struct seq_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return {T, nullptr};
     if (is_flat(T)) {
       size_t N = T->Size;
-      if (TO::flat_fastpath() && TO::flat_merge_wins(TO::encoded_bytes(T))) {
+      if (TO::flat_fastpath() && TO::flat_splice_wins()) {
         // Stream the block into the two sides without materializing it.
         typename TO::leaf_reader C(T);
         typename TO::leaf_writer WL(I), WR(N - I);
@@ -130,7 +130,7 @@ struct seq_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
   /// over array sequences in Fig. 2 (arrays need O(n)).
   static node_t *append(node_t *L, node_t *R) {
     if (TO::flat_fastpath() && is_flat(L) && is_flat(R) &&
-        TO::flat_merge_wins(TO::encoded_bytes(L) + TO::encoded_bytes(R))) {
+        TO::flat_splice_wins()) {
       // Flat x flat: stream both blocks into the chunked writer back to
       // back instead of bouncing L through split_last's temp_buf.
       typename TO::leaf_writer W(size(L) + size(R));
@@ -170,7 +170,7 @@ struct seq_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return nullptr;
     if (is_flat(T)) {
       size_t N = T->Size;
-      if (TO::flat_fastpath() && TO::flat_merge_wins(TO::encoded_bytes(T))) {
+      if (TO::flat_fastpath() && TO::flat_splice_wins()) {
         // Stream the block through the cursor pair (same discipline as
         // split_at above): each element is decoded once, transformed, and
         // pushed straight into the result leaf.

@@ -116,6 +116,11 @@ Scheduler::~Scheduler() {
     ++WakeEpoch;
   }
   ParkCV.notify_all();
+  {
+    std::lock_guard<std::mutex> Lock(JoinM);
+    ++JoinEpoch;
+  }
+  JoinCV.notify_all();
   for (std::thread &T : Threads)
     T.join();
 }
@@ -129,6 +134,7 @@ SchedulerStats Scheduler::stats() const {
     S.FailedSteals += W.FailedSteals.load(std::memory_order_relaxed);
     S.Parks += W.Parks.load(std::memory_order_relaxed);
     S.Wakes += W.Wakes.load(std::memory_order_relaxed);
+    S.JoinParks += W.JoinParks.load(std::memory_order_relaxed);
   }
   return S;
 }
@@ -141,6 +147,7 @@ void Scheduler::statsReset() {
     W.FailedSteals.store(0, std::memory_order_relaxed);
     W.Parks.store(0, std::memory_order_relaxed);
     W.Wakes.store(0, std::memory_order_relaxed);
+    W.JoinParks.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -166,6 +173,15 @@ void Scheduler::unparkOne(int Id) {
   // (and by the NumParked check of every subsequent push, which cannot
   // race the same registration). Wake-on-push is best-effort by design —
   // see README "Parallel runtime".
+  if (NumJoinParked.load(std::memory_order_relaxed) != 0) {
+    // A joiner parked on a long stolen branch can help with this fresh
+    // work: poke the join channel too (same best-effort discipline).
+    {
+      std::lock_guard<std::mutex> Lock(JoinM);
+      ++JoinEpoch;
+    }
+    JoinCV.notify_all();
+  }
   if (NumParked.load(std::memory_order_relaxed) == 0)
     return;
   {
@@ -282,12 +298,59 @@ void Scheduler::waitHelping(int Id, Task *T) {
     } else if (Failed < kYieldProbes) {
       std::this_thread::yield();
     } else {
-      // No parking while joining: nothing signals a stolen task's
-      // completion, so bounded micro-sleeps keep wake latency low without
-      // spinning through a long-running branch.
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      // Park while joining: every stolen task's completion signals JoinCV
+      // (signalJoiners), so a worker blocked on a long stolen branch
+      // sleeps on the condvar instead of burning 50 us poll cycles. After
+      // a wake: one steal attempt, then straight back to the condvar
+      // (same shape as workerLoop's post-park escalation).
+      joinPark(Id, T);
+      Failed = kYieldProbes;
     }
   }
+}
+
+void Scheduler::signalJoiners() {
+  // Pairs with joinPark's registration fence: the completer's Done store
+  // is ordered before this fence, the joiner's registration before its
+  // fence — so either this load sees the registration (and signals) or
+  // the joiner's re-check sees Done. The fence costs only on task
+  // completions, which are steal-rate rare next to forks.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (NumJoinParked.load(std::memory_order_relaxed) == 0)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(JoinM);
+    ++JoinEpoch;
+  }
+  JoinCV.notify_all();
+}
+
+void Scheduler::joinPark(int Id, Task *T) {
+  // Same snapshot/register/fence/re-check discipline as park(), with the
+  // joined task's Done flag added to the re-check and the wait predicate.
+  // The backstop timeout additionally bounds the fence-free window of
+  // unparkOne's join poke (a push racing this registration).
+  uint64_t E;
+  {
+    std::lock_guard<std::mutex> Lock(JoinM);
+    E = JoinEpoch;
+  }
+  NumJoinParked.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (T->Done.load(std::memory_order_acquire) || hasWork() ||
+      Stop.load(std::memory_order_acquire)) {
+    NumJoinParked.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  counter_bump(Stats[Id].JoinParks);
+  {
+    std::unique_lock<std::mutex> Lock(JoinM);
+    JoinCV.wait_for(Lock, kParkBackstop, [&] {
+      return JoinEpoch != E || T->Done.load(std::memory_order_relaxed) ||
+             Stop.load(std::memory_order_relaxed);
+    });
+  }
+  NumJoinParked.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void Scheduler::workerLoop(int Id) {

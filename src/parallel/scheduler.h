@@ -87,6 +87,7 @@ struct SchedulerStats {
   uint64_t FailedSteals = 0;   ///< Steal attempts finding empty/losing CAS.
   uint64_t Parks = 0;          ///< Times a worker blocked on the condvar.
   uint64_t Wakes = 0;          ///< Wake signals issued by pushes.
+  uint64_t JoinParks = 0;      ///< Times a joiner parked on a stolen branch.
 };
 
 /// The process-wide scheduler. The first thread to touch the scheduler
@@ -175,6 +176,7 @@ private:
     std::atomic<uint64_t> FailedSteals{0};
     std::atomic<uint64_t> Parks{0};
     std::atomic<uint64_t> Wakes{0};
+    std::atomic<uint64_t> JoinParks{0};
   };
 
   Scheduler();
@@ -190,7 +192,19 @@ private:
   /// Runs stolen tasks until \p T completes. Steals only (never pops the
   /// own deque's bottom, which would break the tryReclaim invariant of
   /// enclosing frames); the waiter's own deque is one of the victims.
+  /// When nothing is stealable it escalates spin -> yield -> joinPark: the
+  /// completion of any stolen task signals JoinCV, so a joiner blocked on
+  /// a long stolen branch sleeps instead of polling.
   void waitHelping(int Id, Task *T);
+  /// Parks a joiner until some stolen task completes (signalJoiners), new
+  /// work is pushed (unparkOne pokes JoinCV too), the backstop elapses, or
+  /// the pool shuts down. Same register/fence/re-check discipline as
+  /// park(), with \p T's Done flag in the re-check and wait predicate.
+  void joinPark(int Id, Task *T);
+  /// Wakes parked joiners after a task completion; the seq_cst fence pairs
+  /// with joinPark's registration fence so a completion either sees the
+  /// registration or the joiner re-check sees Done.
+  void signalJoiners();
   /// One steal attempt against a random victim (possibly the caller's own
   /// deque top). Returns nullptr on failure.
   Task *steal(int Id);
@@ -205,9 +219,10 @@ private:
   /// fence-free by design (best-effort, backstopped — see scheduler.cpp).
   void unparkOne(int Id);
   void workerLoop(int Id);
-  static void runTask(Task *T) {
+  void runTask(Task *T) {
     T->Run(T->Env);
     T->Done.store(true, std::memory_order_release);
+    signalJoiners();
   }
 
   int NumWorkers;
@@ -224,6 +239,16 @@ private:
   std::mutex ParkM;
   std::condition_variable ParkCV;
   uint64_t WakeEpoch = 0;
+
+  // Join parking state (waitHelping). Separate from the idle-park channel:
+  // completions signal here, and only joiners wait here, so an idle pool's
+  // parked workers are never woken by task completions (and vice versa).
+  // JoinEpoch is guarded by JoinM; NumJoinParked is the fast-path hint both
+  // completions and pushes read (zero unless someone joins a long branch).
+  std::atomic<int> NumJoinParked{0};
+  std::mutex JoinM;
+  std::condition_variable JoinCV;
+  uint64_t JoinEpoch = 0;
 };
 
 /// Number of worker threads (reads CPAM_NUM_THREADS, defaulting to the

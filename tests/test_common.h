@@ -73,6 +73,21 @@ private:
   bool Saved;
 };
 
+/// FlagGuard's generalization to any copyable runtime knob (size_t grains,
+/// thresholds): saves on construction, restores on scope exit, so a failed
+/// ASSERT cannot leak a retuned global into later tests.
+template <class T> class ValueGuard {
+public:
+  explicit ValueGuard(T &Ref) : Ref(Ref), Saved(Ref) {}
+  ValueGuard(const ValueGuard &) = delete;
+  ValueGuard &operator=(const ValueGuard &) = delete;
+  ~ValueGuard() { Ref = Saved; }
+
+private:
+  T &Ref;
+  T Saved;
+};
+
 /// Fails the test if tree nodes allocated during its body were not returned
 /// to the allocator by the time the body finished.
 class LeakCheckTest : public ::testing::Test {

@@ -416,4 +416,176 @@ TYPED_TEST(DifferentialSetTest, MultiLeafChunkedResultsBothFastPathSettings) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Parallel quantile-split merges.
+//===----------------------------------------------------------------------===//
+
+/// Structural fingerprint of the whole tree: node kinds, sizes, child
+/// shapes and (for flat nodes) exact encoded payload byte counts. Two
+/// trees with equal fingerprints, sizes-in-bytes and node counts are
+/// structurally identical down to the encoded blocks — the property the
+/// determinism checks below compare across scheduling modes.
+template <class SetT> uint64_t treeFingerprint(const SetT &S) {
+  using ops = typename SetT::ops;
+  using node_t = typename ops::node_t;
+  struct Walk {
+    uint64_t operator()(const node_t *T) const {
+      if (!T)
+        return 0x9e3779b97f4a7c15ULL;
+      uint64_t H;
+      if (ops::is_flat(T)) {
+        const auto *F = static_cast<const typename ops::NL::flat_t *>(T);
+        H = 0xff51afd7ed558ccdULL * (2 * T->Size + 1) + F->Bytes;
+      } else {
+        const auto *R = static_cast<const typename ops::NL::regular_t *>(T);
+        H = (*this)(R->Left);
+        H = H * 0xc4ceb9fe1a85ec53ULL + (*this)(R->Right);
+        H = H * 0xff51afd7ed558ccdULL + 2 * T->Size;
+      }
+      return hash64(H);
+    }
+  };
+  return Walk{}(S.root());
+}
+
+/// Drives every operation routed through the quantile-split parallel merge
+/// with the grain lowered (so these test-sized inputs split into many
+/// chunks) and kappa raised (so whole operands reach the merge base
+/// cases). Each op is checked three ways: contents against the std::set
+/// oracle, the Def. 4.1 invariants, and structural identity between a run
+/// under the real scheduler and the same chunked code path with every fork
+/// inlined (par::set_sequential). Chunk boundaries are a pure function of
+/// the operand sizes — never the worker count — so this last check, run by
+/// the x1/x4/x16 ctest variants of this suite, pins byte-identical output
+/// trees at every thread count.
+template <class SetT> void runParallelMergeEpisode(Rng R) {
+  using ops = typename SetT::ops;
+  test::ValueGuard<size_t> GGrain(ops::parallel_merge_grain());
+  test::ValueGuard<size_t> GKappa(ops::kappa());
+  ops::parallel_merge_grain() = 512;
+  ops::kappa() = size_t{1} << 20;
+  constexpr uint64_t Universe = 300000;
+
+  auto RandomKeys = [&R](size_t N) {
+    std::vector<uint64_t> Keys(N);
+    for (auto &K : Keys)
+      K = R.next(Universe);
+    return Keys;
+  };
+  // Runs the builder once under the real scheduler and once fork-inlined,
+  // checks structural identity, and returns the scheduled build.
+  auto CheckDeterminism = [](const char *What, auto &&Mk) {
+    SetT Par = Mk();
+    par::set_sequential(true);
+    SetT Seq = Mk();
+    par::set_sequential(false);
+    EXPECT_EQ(treeFingerprint(Par), treeFingerprint(Seq))
+        << What << ": chunked merge output depends on scheduling";
+    EXPECT_EQ(Par.size_in_bytes(), Seq.size_in_bytes()) << What;
+    EXPECT_EQ(Par.node_count(), Seq.node_count()) << What;
+    return Par;
+  };
+
+  std::vector<uint64_t> KA = RandomKeys(6000), KB = RandomKeys(5000);
+  SetT SA(KA), SB(KB);
+  std::set<uint64_t> OA(KA.begin(), KA.end()), OB(KB.begin(), KB.end());
+
+  {
+    SetT U = CheckDeterminism(
+        "union", [&] { return SetT::map_union(SA, SB); });
+    std::set<uint64_t> O = OA;
+    O.insert(OB.begin(), OB.end());
+    checkSetAgainstOracle(U, O, "parallel union");
+  }
+  {
+    // Overlap half of SA's keys so the intersection is nonempty in every
+    // chunk.
+    std::vector<uint64_t> KC = KB;
+    for (uint64_t K : KA)
+      if (R.next(2))
+        KC.push_back(K);
+    SetT SC(KC);
+    SetT I = CheckDeterminism(
+        "intersect", [&] { return SetT::map_intersect(SA, SC); });
+    std::set<uint64_t> OC(KC.begin(), KC.end()), O;
+    for (uint64_t K : OA)
+      if (OC.count(K))
+        O.insert(K);
+    checkSetAgainstOracle(I, O, "parallel intersect");
+  }
+  {
+    SetT D = CheckDeterminism(
+        "difference", [&] { return SetT::map_difference(SA, SB); });
+    std::set<uint64_t> O;
+    for (uint64_t K : OA)
+      if (!OB.count(K))
+        O.insert(K);
+    checkSetAgainstOracle(D, O, "parallel difference");
+  }
+  {
+    // The single-worker-encode-bottleneck shape: a tiny flat root spliced
+    // with a batch that dwarfs it.
+    auto Seed = RandomKeys(5);
+    SetT Root(Seed);
+    SetT M = CheckDeterminism(
+        "multi_insert", [&] { return Root.multi_insert(KA); });
+    std::set<uint64_t> O(Seed.begin(), Seed.end());
+    O.insert(KA.begin(), KA.end());
+    checkSetAgainstOracle(M, O, "parallel multi_insert");
+  }
+  {
+    std::vector<uint64_t> Del;
+    for (uint64_t K : OA)
+      if (R.next(2))
+        Del.push_back(K); // Sorted: OA iterates in key order.
+    SetT M = CheckDeterminism(
+        "multi_delete", [&] { return SA.multi_delete(Del); });
+    std::set<uint64_t> O = OA;
+    for (uint64_t K : Del)
+      O.erase(K);
+    checkSetAgainstOracle(M, O, "parallel multi_delete");
+  }
+}
+
+TYPED_TEST(DifferentialSetTest, ParallelMergeMatchesInlineRunAndOracle) {
+  test::FlagGuard G(TypeParam::ops::flat_fastpath());
+  for (bool Fast : {false, true}) {
+    TypeParam::ops::flat_fastpath() = Fast;
+    runParallelMergeEpisode<TypeParam>(test::seeded_rng(Fast ? 33 : 44));
+    if (this->HasFatalFailure())
+      break;
+  }
+  par::set_sequential(false);
+}
+
+/// The dense 50%-interleaved shape that regressed the streamed merge in
+/// PR 5: even keys against odd-shifted keys, so the winner alternates
+/// every entry and half the pairs collide. The run-length probe must
+/// abandon streaming mid-merge on byte-coded types — asserted through the
+/// fallback telemetry counter — and the result must still match the
+/// oracle exactly.
+TYPED_TEST(DifferentialSetTest, DenseInterleavedMergeTriggersRunFallback) {
+  using ops = typename TypeParam::ops;
+  test::FlagGuard G(ops::flat_fastpath());
+  ops::flat_fastpath() = true;
+  test::ValueGuard<size_t> GKappa(ops::kappa());
+  ops::kappa() = size_t{1} << 20;
+
+  std::vector<uint64_t> A, B;
+  for (uint64_t I = 0; I < 4000; ++I) {
+    A.push_back(2 * I);
+    B.push_back(2 * I + (I % 2 ? 0 : 1)); // 50% dups, 50% interleave.
+  }
+  uint64_t Before = ops::merge_fallback_count().load();
+  TypeParam SA(A), SB(B);
+  TypeParam U = TypeParam::map_union(SA, SB);
+  std::set<uint64_t> O(A.begin(), A.end());
+  O.insert(B.begin(), B.end());
+  checkSetAgainstOracle(U, O, "dense-interleaved union");
+  if constexpr (ops::leaf_writer::kCanStream) {
+    EXPECT_GT(ops::merge_fallback_count().load(), Before)
+        << "run-length fallback never fired on a degenerate-run merge";
+  }
+}
+
 } // namespace

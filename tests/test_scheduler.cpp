@@ -297,6 +297,31 @@ TEST(SchedulerRuntime, ParkUnparkChurn) {
   }
 }
 
+TEST(SchedulerRuntime, JoinerParksOnLongStolenBranch) {
+  // A forker whose stolen branch outlives its own branch must end up on the
+  // join condition variable (JoinParks telemetry), not in a sleep-poll loop:
+  // the completion signal, not a timer, is what wakes it. Stealing is
+  // timing-dependent (the pushed branch may be reclaimed inline before any
+  // thief gets scheduled), so retry until a steal actually happens.
+  if (par::num_workers() < 2)
+    GTEST_SKIP() << "needs a multi-worker pool";
+  bool Parked = false;
+  for (int Attempt = 0; Attempt < 40 && !Parked; ++Attempt) {
+    par::scheduler_stats_reset();
+    par::par_do(
+        [&] {
+          // Linger long enough for a thief to claim the pushed branch.
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        },
+        [&] {
+          // Hold the joiner far past its spin/yield probe budget.
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        });
+    Parked = par::scheduler_stats().JoinParks > 0;
+  }
+  EXPECT_TRUE(Parked) << "joiner never parked on a long stolen branch";
+}
+
 TEST(SchedulerRuntime, MixedNestedWorkMatchesSequential) {
   // Nested parallel_for + par_do + tree recursion, compared against the
   // same computation with forking disabled.
