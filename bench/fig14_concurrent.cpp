@@ -5,45 +5,44 @@
 //===----------------------------------------------------------------------===//
 //
 // Regenerates Fig. 14: BFS queries running concurrently with small-batch
-// edge insertions (batch = 10 directed edges from the rMAT stream),
-// exploiting snapshots: the updater installs new graph versions while
-// readers query an O(1) snapshot. Reports solo vs concurrent average times
-// and the update throughput/latency. Expected shape: concurrent queries
+// edge insertions (batch = 5 undirected rMAT edges, i.e. up to 10 directed
+// edges after self-loop filtering), exploiting snapshots: the updater
+// publishes new graph versions through serving::version_chain (atomic root
+// swap + epoch-reclaimed retirement — see src/serving/version_chain.h)
+// while readers query an O(1) snapshot. Expected shape: concurrent queries
 // are moderately slower than solo (paper: 1.85x); updates barely change
 // (paper: 1.07x).
 //
+// Methodology (fixed in PR 8): the solo and concurrent phases run the SAME
+// query count from the SAME starting version — each phase gets a fresh
+// chain seeded with the initial graph, and the concurrent updater runs
+// open-ended until the readers finish, so the ratios compare identical
+// work on identical inputs. Update throughput is computed from the edges
+// actually inserted (self-loops are filtered from the rMAT draws), not a
+// nominal batch size.
+//
 //===----------------------------------------------------------------------===//
 
-#include <mutex>
+#include <atomic>
 #include <thread>
 
 #include "bench/bench_common.h"
 #include "src/graph/bfs.h"
 #include "src/graph/graph.h"
 #include "src/parallel/random.h"
+#include "src/serving/version_chain.h"
 
 using namespace cpam;
 using namespace cpam::bench;
 
 namespace {
 
-struct VersionedGraph {
-  std::mutex M;
-  sym_graph Current;
-  sym_graph snapshot() {
-    std::lock_guard<std::mutex> L(M);
-    return Current; // O(1) copy.
-  }
-  void install(sym_graph G) {
-    std::lock_guard<std::mutex> L(M);
-    Current = std::move(G);
-  }
-};
+using graph_chain = serving::version_chain<sym_graph>;
 
-double runQueries(VersionedGraph &VG, size_t NumQueries, size_t NumV) {
+double runQueries(const graph_chain &Chain, size_t NumQueries, size_t NumV) {
   Timer T;
   for (size_t Q = 0; Q < NumQueries; ++Q) {
-    sym_graph Snap = VG.snapshot();
+    sym_graph Snap = Chain.acquire();
     auto S = Snap.flat_snapshot();
     auto Parents = bfs(make_neighbors(S), NumV, 0);
     volatile size_t Sink = Parents.size();
@@ -52,14 +51,32 @@ double runQueries(VersionedGraph &VG, size_t NumQueries, size_t NumV) {
   return T.elapsed() / NumQueries;
 }
 
-/// Runs \p NumBatches updates of 10 directed edges each; returns average
-/// seconds per batch. (Runs on a plain thread: the update batches are tiny,
-/// matching the paper's batch size of 5 undirected edges.)
-double runUpdates(VersionedGraph &VG, size_t NumBatches, int LogN) {
+struct UpdateStats {
+  size_t Batches = 0;
+  size_t DirectedEdges = 0; // Edges actually inserted (self-loops dropped).
+  double Seconds = 0;
+  double perBatch() const { return Batches ? Seconds / Batches : 0; }
+  double edgesPerSec() const {
+    return Seconds > 0 ? DirectedEdges / Seconds : 0;
+  }
+};
+
+/// Draws 5 undirected rMAT edges per batch, filters self-loops, inserts
+/// both directions, publishes one version per batch. Runs until \p
+/// NumBatches batches are done or \p StopFlag (when non-null) is set.
+/// (Runs on a plain thread — a foreign thread to the scheduler pool,
+/// exercising its sequential degradation path — matching the paper's tiny
+/// 5-edge batches.)
+UpdateStats runUpdates(graph_chain &Chain, size_t NumBatches, int LogN,
+                       const std::atomic<bool> *StopFlag) {
   RmatParams P;
   P.Seed = 1234;
+  UpdateStats Stats;
+  sym_graph Tip = Chain.acquire();
   Timer T;
   for (size_t I = 0; I < NumBatches; ++I) {
+    if (StopFlag && StopFlag->load(std::memory_order_relaxed))
+      break;
     auto Upd = rmat_edges(LogN, 5, P);
     std::vector<edge_pair> Batch;
     for (auto &[U, V] : Upd)
@@ -68,10 +85,13 @@ double runUpdates(VersionedGraph &VG, size_t NumBatches, int LogN) {
         Batch.push_back({V, U});
       }
     P.Seed = hash64(P.Seed);
-    sym_graph Next = VG.snapshot().insert_edges(Batch);
-    VG.install(std::move(Next));
+    Stats.DirectedEdges += Batch.size();
+    Tip = Tip.insert_edges(std::move(Batch));
+    Chain.publish(Tip);
+    ++Stats.Batches;
   }
-  return T.elapsed() / NumBatches;
+  Stats.Seconds = T.elapsed();
+  return Stats;
 }
 
 } // namespace
@@ -84,28 +104,52 @@ int main(int argc, char **argv) {
 
   size_t NumV = size_t(1) << LogN;
   auto Edges = rmat_graph(LogN, NumV * 18 / 2);
-  VersionedGraph VG;
-  VG.Current = sym_graph::from_edges(Edges, NumV);
+  sym_graph G0 = sym_graph::from_edges(Edges, NumV);
   std::printf("graph: n=%zu m=%zu\n", NumV, Edges.size());
 
-  // Solo phases.
-  double QuerySolo = runQueries(VG, NumQueries, NumV);
-  double UpdateSolo = runUpdates(VG, NumBatches, LogN);
+  // Solo phases, each on a fresh chain seeded with G0.
+  double QuerySolo;
+  {
+    graph_chain Chain(G0);
+    QuerySolo = runQueries(Chain, NumQueries, NumV);
+  }
+  UpdateStats UpdSolo;
+  {
+    graph_chain Chain(G0);
+    UpdSolo = runUpdates(Chain, NumBatches, LogN, nullptr);
+  }
 
-  // Concurrent phase: updater on its own thread, queries on the main pool.
-  double UpdateConc = 0;
-  std::thread Updater(
-      [&] { UpdateConc = runUpdates(VG, NumBatches * 4, LogN); });
-  double QueryConc = runQueries(VG, NumQueries * 2, NumV);
-  Updater.join();
+  // Concurrent phase: same starting version G0, same query count as the
+  // solo phase; the updater publishes continuously until the readers
+  // finish (so every query contends with live ingest end to end).
+  double QueryConc;
+  UpdateStats UpdConc;
+  {
+    graph_chain Chain(G0);
+    std::atomic<bool> Stop{false};
+    std::thread Updater([&] {
+      UpdConc = runUpdates(Chain, ~size_t(0), LogN, &Stop);
+    });
+    QueryConc = runQueries(Chain, NumQueries, NumV);
+    Stop.store(true, std::memory_order_relaxed);
+    Updater.join();
+    Chain.reclaim();
+  }
 
-  std::printf("BFS query   solo=%8.4fs  concurrent=%8.4fs  (%.2fx)\n",
-              QuerySolo, QueryConc, QueryConc / QuerySolo);
+  double UpdateSolo = UpdSolo.perBatch();
+  double UpdateConc = UpdConc.perBatch();
+  std::printf("BFS query   solo=%8.4fs  concurrent=%8.4fs  (%.2fx)  "
+              "[%zu queries each, same start version]\n",
+              QuerySolo, QueryConc, QueryConc / QuerySolo, NumQueries);
   std::printf("update      solo=%8.6fs  concurrent=%8.6fs  (%.2fx) per "
-              "10-edge batch\n",
-              UpdateSolo, UpdateConc, UpdateConc / UpdateSolo);
-  std::printf("update throughput (concurrent): %.0f directed edges/s, "
-              "latency %.0f us/batch\n",
-              10.0 / UpdateConc, UpdateConc * 1e6);
+              "batch (avg %.1f directed edges/batch)\n",
+              UpdateSolo, UpdateConc,
+              UpdateSolo > 0 ? UpdateConc / UpdateSolo : 0.0,
+              UpdConc.Batches
+                  ? double(UpdConc.DirectedEdges) / UpdConc.Batches
+                  : 0.0);
+  std::printf("update throughput (concurrent): %.0f directed edges/s over "
+              "%zu batches, latency %.0f us/batch\n",
+              UpdConc.edgesPerSec(), UpdConc.Batches, UpdateConc * 1e6);
   return 0;
 }

@@ -9,7 +9,9 @@
 /// the vertex tree — the very limitation Fig. 11 highlights) whose values
 /// are C-tree edge lists with difference encoding. Supports build, space
 /// accounting, flat snapshots (for BFS/MIS/BC via the shared Ligra layer)
-/// and batch edge insertion.
+/// and batch edge insertion. Copies are O(1) refcounted snapshots, so the
+/// baseline rides the serving layer unchanged: bench_serving drives
+/// serving::versioned_graph<aspen_graph> head-to-head against sym_graph.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -70,6 +72,16 @@ public:
         [](const auto &E) { return E.second.size_in_bytes(); }, size_t(0),
         std::plus<size_t>());
     return VT.size_in_bytes() + Inner;
+  }
+
+  size_t degree(vertex_id V) const {
+    auto E = VT.find(V);
+    return E ? E->size() : 0;
+  }
+
+  edge_list neighbors(vertex_id V) const {
+    auto E = VT.find(V);
+    return E ? *E : edge_list();
   }
 
   std::vector<edge_list> flat_snapshot() const {

@@ -401,6 +401,13 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     return C;
   }
 
+  /// Zeroes merge_fallback_count() so a telemetry assertion sees only the
+  /// episodes it triggers itself, not earlier merges in the same process.
+  /// Call while quiescent (no merges in flight), like the reader side.
+  static void merge_fallback_count_reset() {
+    merge_fallback_count().store(0, std::memory_order_relaxed);
+  }
+
   /// Dry-run of the merge's first probe-window of output: pure compares
   /// over the decoded operand prefixes, counting winner runs, no writer
   /// and no moves. Returns true when the average run length is already

@@ -1,0 +1,369 @@
+//===- version_chain.h - Versioned snapshot store with batch ingest --------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The repo's serving architecture: a single-writer/many-reader versioned
+/// snapshot store over any purely-functional value T (a PaC-tree map/set,
+/// a sym_graph, an aspen_graph — anything whose copy is an O(1) refcount
+/// bump and whose destructor releases the refs).
+///
+/// Three layers:
+///
+///  - version_chain<T>: publishes immutable versions via one atomic
+///    pointer swap. Readers acquire() a snapshot in O(1): pin an epoch
+///    (src/serving/epoch.h), load the current version pointer, copy the
+///    value (root refcount increment), unpin. The writer publish()es a new
+///    version, retires the old one onto a writer-private list stamped with
+///    the pre-advance epoch, and reclaims retired versions only once no
+///    pinned reader epoch can still observe them — so the subtree
+///    decrements of an abandoned version run on the writer, never on a
+///    reader's critical path.
+///
+///  - ingest_pipeline<T, U>: the single-writer batch ingest front door.
+///    Producers submit() updates into a bounded queue; a dedicated writer
+///    thread drains them and applies one batch per publish (at most
+///    BatchWindow updates each) through a caller-supplied apply function
+///    (e.g. sym_graph::insert_edges / pam_map::multi_insert). Batching
+///    amortizes the O(log n) structural work across the batch, which is
+///    exactly the regime where PaC-tree multi-inserts win (Thm. 7.1).
+///
+///  - versioned_graph<G>: convenience binding of the two for graphs with
+///    an insert_edges(std::vector<edge_pair>) batch API (sym_graph and
+///    the aspen_graph baseline both qualify).
+///
+/// Concurrency contract: any number of threads may call acquire()
+/// concurrently with one writer calling publish()/reclaim(). publish()
+/// and reclaim() must not race each other (single-writer; the ingest
+/// pipeline's writer thread satisfies this by construction, and a debug
+/// assert trips on violations). Destroying the chain requires quiescence,
+/// like destroying any other container.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPAM_SERVING_VERSION_CHAIN_H
+#define CPAM_SERVING_VERSION_CHAIN_H
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/serving/epoch.h"
+#include "src/util/datagen.h"
+
+namespace cpam {
+namespace serving {
+
+template <class T> class version_chain {
+public:
+  /// Creates the chain holding \p Initial as version 1.
+  explicit version_chain(T Initial)
+      : Current(new version_node{std::move(Initial), 1}) {}
+
+  version_chain(const version_chain &) = delete;
+  version_chain &operator=(const version_chain &) = delete;
+
+  /// Requires quiescence (no concurrent readers or writer). Frees the
+  /// current version and every still-retired one; with all snapshots
+  /// dropped this releases every node the chain ever owned.
+  ~version_chain() {
+    delete Current.load(std::memory_order_relaxed);
+    version_node *R = RetiredHead;
+    while (R) {
+      version_node *Next = R->NextRetired;
+      delete R;
+      R = Next;
+    }
+  }
+
+  /// O(1) snapshot of the current version: epoch pin, pointer load, root
+  /// refcount bump, unpin. Wait-free apart from the slot claim. Safe from
+  /// any thread, concurrent with publish().
+  T acquire() const {
+    epoch_manager::guard G(Epochs);
+    version_node *V = Current.load(std::memory_order_seq_cst);
+    return V->Value;
+  }
+
+  /// Snapshot plus its version sequence number.
+  T acquire(uint64_t &SeqOut) const {
+    epoch_manager::guard G(Epochs);
+    version_node *V = Current.load(std::memory_order_seq_cst);
+    SeqOut = V->Seq;
+    return V->Value;
+  }
+
+  /// Sequence number of the current version (1-based, monotone).
+  uint64_t seq() const {
+    epoch_manager::guard G(Epochs);
+    return Current.load(std::memory_order_seq_cst)->Seq;
+  }
+
+  /// Writer-side: publishes \p Next as the new current version, retires
+  /// the old one, and opportunistically reclaims every retired version no
+  /// reader can still observe. Single writer only.
+  void publish(T Next) {
+    assert(!WriterActive.exchange(true) && "version_chain: second writer");
+    version_node *Old = Current.load(std::memory_order_relaxed);
+    version_node *N = new version_node{std::move(Next), Old->Seq + 1};
+    Current.store(N, std::memory_order_seq_cst);
+    // Stamp with the pre-advance epoch: every reader still able to reach
+    // Old is pinned at an epoch <= this value (see epoch.h).
+    Old->RetireEpoch = Epochs.advance();
+    Old->NextRetired = RetiredHead;
+    RetiredHead = Old;
+    ++NumRetired;
+    reclaimLocked();
+    WriterActive.store(false);
+  }
+
+  /// Writer-side: frees every retired version whose retire epoch precedes
+  /// all pinned readers. Returns the number of versions freed. publish()
+  /// already calls this; exposed for tests and for draining after load.
+  size_t reclaim() {
+    assert(!WriterActive.exchange(true) && "version_chain: second writer");
+    size_t Freed = reclaimLocked();
+    WriterActive.store(false);
+    return Freed;
+  }
+
+  /// Retired-but-not-yet-freed version count (writer thread only).
+  size_t retired_count() const { return NumRetired; }
+  /// Total versions reclaimed over the chain's lifetime (writer only).
+  uint64_t reclaimed_total() const { return NumReclaimed; }
+
+  /// The chain's epoch manager (manual pinning in tests/telemetry).
+  epoch_manager &epochs() const { return Epochs; }
+
+private:
+  struct version_node {
+    T Value;
+    uint64_t Seq;
+    uint64_t RetireEpoch = 0;
+    version_node *NextRetired = nullptr;
+  };
+
+  size_t reclaimLocked() {
+    if (!RetiredHead)
+      return 0;
+    uint64_t MinActive = Epochs.min_active();
+    version_node **Link = &RetiredHead;
+    size_t Freed = 0;
+    while (*Link) {
+      version_node *V = *Link;
+      if (V->RetireEpoch < MinActive) {
+        *Link = V->NextRetired;
+        delete V; // ~T decrements the tree roots — off the reader path.
+        ++Freed;
+      } else {
+        Link = &V->NextRetired;
+      }
+    }
+    NumRetired -= Freed;
+    NumReclaimed += Freed;
+    return Freed;
+  }
+
+  std::atomic<version_node *> Current;
+  mutable epoch_manager Epochs;
+  // Writer-private state (guarded by the single-writer contract).
+  version_node *RetiredHead = nullptr;
+  size_t NumRetired = 0;
+  uint64_t NumReclaimed = 0;
+  std::atomic<bool> WriterActive{false};
+};
+
+/// Single-writer batch-ingest pipeline in front of a version_chain<T>:
+/// producers enqueue updates of type U into a bounded queue; the pipeline's
+/// writer thread drains them and applies one batch per publish.
+template <class T, class U> class ingest_pipeline {
+public:
+  /// Applies a batch of updates to a snapshot, returning the next version.
+  using apply_fn = std::function<T(const T &, std::vector<U>)>;
+
+  struct options {
+    /// Bounded-queue capacity: submit() blocks (applying backpressure)
+    /// while this many updates are pending.
+    size_t QueueCapacity = size_t(1) << 16;
+    /// Max updates applied per published version. Small windows minimize
+    /// snapshot staleness; large windows amortize structural work.
+    size_t BatchWindow = size_t(1) << 12;
+  };
+
+  ingest_pipeline(version_chain<T> &Chain, apply_fn Apply, options O = {})
+      : Chain(Chain), Apply(std::move(Apply)), Opts(O) {
+    assert(Opts.QueueCapacity > 0 && Opts.BatchWindow > 0);
+    Writer = std::thread([this] { writerLoop(); });
+  }
+
+  ingest_pipeline(const ingest_pipeline &) = delete;
+  ingest_pipeline &operator=(const ingest_pipeline &) = delete;
+
+  ~ingest_pipeline() { stop(); }
+
+  /// Enqueues one update; blocks while the queue is full. Returns false
+  /// (dropping the update) once the pipeline is stopping.
+  bool submit(U Item) {
+    std::unique_lock<std::mutex> L(M);
+    while (Pending.size() >= Opts.QueueCapacity && !Stopping) {
+      ++FullWaits;
+      NotFull.wait(L);
+    }
+    if (Stopping)
+      return false;
+    Pending.push_back(std::move(Item));
+    ++NumSubmitted;
+    L.unlock();
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Non-blocking submit; false if the queue is full or stopping.
+  bool try_submit(U Item) {
+    std::unique_lock<std::mutex> L(M);
+    if (Stopping || Pending.size() >= Opts.QueueCapacity)
+      return false;
+    Pending.push_back(std::move(Item));
+    ++NumSubmitted;
+    L.unlock();
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocks until every update submitted before the call has been applied
+  /// and published.
+  void flush() {
+    std::unique_lock<std::mutex> L(M);
+    Drained.wait(L, [&] { return (Pending.empty() && !Applying) || Stopping; });
+  }
+
+  /// Drains the queue, publishes the remainder, and joins the writer
+  /// thread. Idempotent; called by the destructor.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      if (Stopping)
+        return;
+      Stopping = true;
+    }
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+    Drained.notify_all();
+    if (Writer.joinable())
+      Writer.join();
+  }
+
+  struct stats_t {
+    uint64_t Submitted = 0; ///< Updates accepted into the queue.
+    uint64_t Applied = 0;   ///< Updates applied and published.
+    uint64_t Batches = 0;   ///< Versions published by the writer loop.
+    uint64_t FullWaits = 0; ///< Times submit() blocked on a full queue.
+  };
+  stats_t stats() const {
+    std::lock_guard<std::mutex> L(M);
+    return {NumSubmitted, NumApplied, NumBatches, FullWaits};
+  }
+
+private:
+  void writerLoop() {
+    // The writer tracks the tip locally: with a single writer the chain
+    // head only moves underneath us via our own publishes.
+    T Tip = Chain.acquire();
+    std::vector<U> Batch;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> L(M);
+        NotEmpty.wait(L, [&] { return !Pending.empty() || Stopping; });
+        if (Pending.empty() && Stopping)
+          break;
+        size_t Take = std::min(Opts.BatchWindow, Pending.size());
+        Batch.assign(std::make_move_iterator(Pending.begin()),
+                     std::make_move_iterator(Pending.begin() + Take));
+        Pending.erase(Pending.begin(), Pending.begin() + Take);
+        Applying = true;
+      }
+      NotFull.notify_all();
+      size_t Applied = Batch.size();
+      Tip = Apply(Tip, std::move(Batch));
+      Chain.publish(Tip);
+      Batch.clear();
+      {
+        std::lock_guard<std::mutex> L(M);
+        Applying = false;
+        NumApplied += Applied;
+        ++NumBatches;
+      }
+      Drained.notify_all();
+    }
+    // Leave retired versions fully drained when no reader is left pinned.
+    Chain.reclaim();
+  }
+
+  version_chain<T> &Chain;
+  apply_fn Apply;
+  options Opts;
+
+  mutable std::mutex M;
+  std::condition_variable NotEmpty, NotFull, Drained;
+  std::vector<U> Pending;
+  bool Stopping = false;
+  bool Applying = false;
+  uint64_t NumSubmitted = 0, NumApplied = 0, NumBatches = 0, FullWaits = 0;
+
+  std::thread Writer;
+};
+
+/// A versioned graph service: version_chain + ingest_pipeline bound to a
+/// graph type with batch edge insertion (sym_graph, aspen_graph). Readers
+/// snapshot(); producers submit_edge(); the pipeline's writer publishes one
+/// new graph version per drained batch.
+template <class G> class versioned_graph {
+public:
+  using pipeline_t = ingest_pipeline<G, edge_pair>;
+  using options = typename pipeline_t::options;
+
+  explicit versioned_graph(G Initial, options O = {})
+      : Chain(std::move(Initial)),
+        Pipe(Chain,
+             [](const G &Cur, std::vector<edge_pair> Batch) {
+               return Cur.insert_edges(std::move(Batch));
+             },
+             O) {}
+
+  /// O(1) snapshot of the newest published graph.
+  G snapshot() const { return Chain.acquire(); }
+  G snapshot(uint64_t &SeqOut) const { return Chain.acquire(SeqOut); }
+
+  /// Enqueues one directed edge (blocking backpressure when the queue is
+  /// full). For undirected updates submit both directions.
+  bool submit_edge(vertex_id U, vertex_id V) {
+    return Pipe.submit(edge_pair{U, V});
+  }
+  bool submit_edge(edge_pair E) { return Pipe.submit(E); }
+
+  /// Waits until all submitted edges are visible in snapshots.
+  void flush() { Pipe.flush(); }
+  /// Stops the writer thread (destructor also stops).
+  void stop() { Pipe.stop(); }
+
+  version_chain<G> &chain() { return Chain; }
+  const version_chain<G> &chain() const { return Chain; }
+  typename pipeline_t::stats_t ingest_stats() const { return Pipe.stats(); }
+
+private:
+  version_chain<G> Chain;
+  pipeline_t Pipe;
+};
+
+} // namespace serving
+} // namespace cpam
+
+#endif // CPAM_SERVING_VERSION_CHAIN_H
