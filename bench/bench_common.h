@@ -15,6 +15,7 @@
 #ifndef CPAM_BENCH_BENCH_COMMON_H
 #define CPAM_BENCH_BENCH_COMMON_H
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -116,6 +117,16 @@ public:
                     "\"seconds\": %.6f, \"mops\": %.3f}",
                     Bench, Ops, Seconds,
                     Seconds > 0 ? Ops / Seconds / 1e6 : 0.0);
+    Rows.push_back(Buf);
+  }
+
+  /// Records one count-valued row (telemetry totals like epoch pins or
+  /// reclaim backlog, alongside the timed rows).
+  void add_count(const char *Bench, uint64_t Value) {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"bench\": \"%s\", \"count\": %llu}", Bench,
+                  static_cast<unsigned long long>(Value));
     Rows.push_back(Buf);
   }
 

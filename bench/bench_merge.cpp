@@ -35,6 +35,7 @@
 #include "src/api/pam_set.h"
 #include "src/encoding/diff_encoder.h"
 #include "src/encoding/gamma_encoder.h"
+#include "src/obs/metrics.h"
 
 using namespace cpam;
 using namespace cpam::bench;
@@ -215,6 +216,9 @@ int main(int argc, char **argv) {
               pool_enabled() ? "on" : "off");
 
   JsonReport Report("bench_merge", N, g_reps);
+  // Clean telemetry window: the metrics section at the bottom then covers
+  // exactly the rows above it (graph build included).
+  obs::reset_all();
 
   // Dense-interleaved regression rows: the same pair volume as perf_smoke's
   // flat rows, at a small and the default block size for each encoding.
@@ -233,6 +237,7 @@ int main(int argc, char **argv) {
   runScale<128>(N, Report, "", /*Runs=*/true);
   runScale<128, diff_encoder>(N, Report, "_diff", /*Runs=*/true);
 
+  Report.add_section("metrics", obs::export_json());
   Report.write(JsonPath);
   return 0;
 }

@@ -36,6 +36,7 @@
 #include "src/baselines/aspen_graph.h"
 #include "src/graph/bfs.h"
 #include "src/graph/graph.h"
+#include "src/obs/metrics.h"
 #include "src/parallel/random.h"
 #include "src/serving/version_chain.h"
 
@@ -59,6 +60,9 @@ struct EpisodeResult {
   double BfsP50 = 0, BfsP99 = 0;         // Seconds.
   double IngestEdgesPerSec = 0;
   uint64_t IngestEdges = 0, Versions = 0, Reclaimed = 0, Pins = 0;
+  // Epoch-manager and pipeline telemetry for the JSON count rows.
+  uint64_t Conflicts = 0, Advances = 0, RetiredBacklog = 0;
+  uint64_t Submitted = 0, Batches = 0, FullWaits = 0;
 };
 
 /// One read-while-ingest episode over graph type G at \p Readers reader
@@ -66,6 +70,9 @@ struct EpisodeResult {
 template <class G>
 EpisodeResult runEpisode(const G &G0, size_t NumV, int LogN, size_t Readers,
                          double Secs, size_t BatchWindow, size_t QueueCap) {
+  // Fresh telemetry window per episode (quiescent here: no pipeline or
+  // readers yet), so the exported metrics describe the last episode alone.
+  obs::reset_all();
   typename serving::versioned_graph<G>::options O;
   O.BatchWindow = BatchWindow;
   O.QueueCapacity = QueueCap;
@@ -149,7 +156,17 @@ EpisodeResult runEpisode(const G &G0, size_t NumV, int LogN, size_t Readers,
   Res.IngestEdgesPerSec = Elapsed > 0 ? Ingest.Applied / Elapsed : 0;
   Res.Versions = VG.chain().seq();
   Res.Reclaimed = VG.chain().reclaimed_total();
-  Res.Pins = VG.chain().epochs().stats().Pins;
+  auto Epochs = VG.chain().epochs().stats();
+  Res.Pins = Epochs.Pins;
+  Res.Conflicts = Epochs.SlotConflicts;
+  // current() starts at 1; everything above is writer advances (publishes).
+  Res.Advances = VG.chain().epochs().current() - 1;
+  // Writer joined by stop(), so the writer-private backlog is readable:
+  // versions retired but still pinned down when the episode ended.
+  Res.RetiredBacklog = VG.chain().retired_count();
+  Res.Submitted = Ingest.Submitted;
+  Res.Batches = Ingest.Batches;
+  Res.FullWaits = Ingest.FullWaits;
   return Res;
 }
 
@@ -162,6 +179,16 @@ void printResult(const char *Tag, const EpisodeResult &R) {
               R.IngestEdgesPerSec,
               static_cast<unsigned long long>(R.Versions),
               static_cast<unsigned long long>(R.Reclaimed));
+  std::printf("       epochs: pins=%llu conflicts=%llu advances=%llu "
+              "backlog=%llu  queue: submitted=%llu batches=%llu "
+              "full_waits=%llu\n",
+              static_cast<unsigned long long>(R.Pins),
+              static_cast<unsigned long long>(R.Conflicts),
+              static_cast<unsigned long long>(R.Advances),
+              static_cast<unsigned long long>(R.RetiredBacklog),
+              static_cast<unsigned long long>(R.Submitted),
+              static_cast<unsigned long long>(R.Batches),
+              static_cast<unsigned long long>(R.FullWaits));
 }
 
 void addRows(JsonReport &Json, const char *Tag, const EpisodeResult &R) {
@@ -177,6 +204,19 @@ void addRows(JsonReport &Json, const char *Tag, const EpisodeResult &R) {
   // ops/seconds here make mops the ingest rate in million edges/s.
   Row("ingest", R.IngestEdges,
       R.IngestEdgesPerSec > 0 ? R.IngestEdges / R.IngestEdgesPerSec : 0);
+  auto Count = [&](const char *Metric, uint64_t V) {
+    std::snprintf(Name, sizeof(Name), "%s_%s_r%zu", Tag, Metric, R.Readers);
+    Json.add_count(Name, V);
+  };
+  Count("versions", R.Versions);
+  Count("reclaimed", R.Reclaimed);
+  Count("epoch_pins", R.Pins);
+  Count("epoch_conflicts", R.Conflicts);
+  Count("epoch_advances", R.Advances);
+  Count("retired_backlog", R.RetiredBacklog);
+  Count("ingest_submitted", R.Submitted);
+  Count("ingest_batches", R.Batches);
+  Count("ingest_full_waits", R.FullWaits);
 }
 
 } // namespace
@@ -223,6 +263,9 @@ int main(int argc, char **argv) {
     addRows(Json, "aspen", Res);
   }
 
+  // Registry snapshot (serving histograms/gauge, scheduler + pool sources)
+  // for the last episode — each episode starts with obs::reset_all().
+  Json.add_section("metrics", obs::export_json());
   Json.write(JsonPath);
   return 0;
 }

@@ -30,6 +30,7 @@
 #include "src/api/pam_set.h"
 #include "src/encoding/diff_encoder.h"
 #include "src/encoding/gamma_encoder.h"
+#include "src/obs/metrics.h"
 #include "src/parallel/random.h"
 
 using namespace cpam;
@@ -286,6 +287,7 @@ int main(int argc, char **argv) {
   runFlatOps<128, diff_encoder>(Pairs, Report, "_diff", true);
   runFlatOps<128, gamma_encoder>(Pairs, Report, "_gamma", true);
   dumpPoolStats(Report);
+  Report.add_section("metrics", obs::export_json());
   Report.write(JsonPath);
   return 0;
 }

@@ -23,6 +23,7 @@
 #include <utility>
 
 #include "src/core/node.h"
+#include "src/obs/trace.h"
 
 /// Build-time default for the flat-leaf streaming fast paths (see
 /// tree_ops::flat_fastpath). The CMake option CPAM_FLAT_FASTPATH sets it;
@@ -890,13 +891,16 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
       }
     }
     node_t *Parts[kMaxMergeChunks];
+    obs::trace::span MergeSpan("merge", "merge");
     par::parallel_for(
         0, C,
         [&](size_t I) {
+          obs::trace::span S("merge_chunk", "merge");
           Parts[I] = MC(A + IA[I], IA[I + 1] - IA[I], B + IB[I],
                         IB[I + 1] - IB[I]);
         },
         /*Granularity=*/1);
+    obs::trace::span JoinSpan("merge_join", "merge");
     return join_parts(Parts, C);
   }
 

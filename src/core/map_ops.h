@@ -26,6 +26,7 @@
 #include <optional>
 
 #include "src/core/basic_tree.h"
+#include "src/obs/metrics.h"
 #include "src/parallel/primitives.h"
 
 namespace cpam {
@@ -395,9 +396,14 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
   /// How many streamed merges have bailed out through the run-length
   /// fallback since process start — up front via probe_runs_degenerate or
   /// mid-merge via the window check (test and bench telemetry; relaxed —
-  /// readers quiesce the scheduler before asserting on it).
+  /// readers quiesce the scheduler before asserting on it). Shim over the
+  /// obs registry's "merge.fallbacks" raw cell: every map_ops
+  /// instantiation (any Entry/encoder/B) shares the one process-wide
+  /// counter, it shows up in obs::export_json(), and obs::reset_all()
+  /// zeroes it along with everything else.
   static std::atomic<uint64_t> &merge_fallback_count() {
-    static std::atomic<uint64_t> C{0};
+    static std::atomic<uint64_t> &C =
+        obs::registry::get().raw_counter("merge.fallbacks");
     return C;
   }
 

@@ -1,0 +1,170 @@
+//===- obs.cpp - Built-in telemetry sources and env-triggered hooks --------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Adopts the pre-existing telemetry surfaces into the obs registry
+// (metrics.h) and installs the environment-triggered exit hooks:
+//
+//  - source "scheduler": par::scheduler_stats() as a JSON object;
+//    reset_all() routes to par::scheduler_stats_reset(). Guarded by
+//    Scheduler::alive() so an exit-time export neither constructs a thread
+//    pool nor touches a destroyed one.
+//  - source "pool" (when CPAM_POOL_ALLOC): pool_allocator::stats() per
+//    nonzero size class, reported as deltas against a baseline captured at
+//    the last reset_all() — the allocator's own counters are never
+//    disturbed, so the Allocs-Frees=live identities its tests rely on
+//    stay exact.
+//  - CPAM_STATS_DUMP=<path|1|stderr>: atexit dump of the cpam-metrics-v1
+//    export to the given path (1/stderr mean stderr). Works in every
+//    binary linking cpam_core.
+//  - CPAM_TRACE=1|2 [+ CPAM_TRACE_OUT=<path>]: enables trace spans
+//    (trace.h) at process start and flushes them to CPAM_TRACE_OUT
+//    (default cpam_trace.json) at exit.
+//
+// Ordering: this file's global initializer runs before main(), so its
+// atexit handlers run after every function-local static constructed during
+// main() (the scheduler singleton included) has been destroyed — hence the
+// alive() guard — while the registry, the trace state and the pool's
+// global structures are deliberately leaked and remain valid.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/allocator.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/parallel/scheduler.h"
+
+namespace cpam {
+namespace obs {
+namespace {
+
+std::string schedulerJson() {
+  par::SchedulerStats S;
+  if (par::Scheduler::alive())
+    S = par::scheduler_stats();
+  char Buf[384];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"forks\": %llu, \"inline_reclaims\": %llu, \"steals\": %llu, "
+      "\"failed_steals\": %llu, \"parks\": %llu, \"wakes\": %llu, "
+      "\"join_parks\": %llu}",
+      (unsigned long long)S.Forks, (unsigned long long)S.InlineReclaims,
+      (unsigned long long)S.Steals, (unsigned long long)S.FailedSteals,
+      (unsigned long long)S.Parks, (unsigned long long)S.Wakes,
+      (unsigned long long)S.JoinParks);
+  return Buf;
+}
+
+void schedulerReset() {
+  if (par::Scheduler::alive())
+    par::scheduler_stats_reset();
+}
+
+#if CPAM_POOL_ALLOC
+std::array<pool_allocator::class_stats, pool_allocator::kNumClasses> &
+poolBaseline() {
+  static std::array<pool_allocator::class_stats, pool_allocator::kNumClasses>
+      B{};
+  return B;
+}
+
+std::string poolJson() {
+  auto Cur = pool_allocator::stats();
+  const auto &Base = poolBaseline();
+  std::string Out = "[";
+  bool First = true;
+  char Buf[256];
+  for (size_t C = 0; C < pool_allocator::kNumClasses; ++C) {
+    uint64_t Allocs = Cur[C].Allocs - Base[C].Allocs;
+    uint64_t Frees = Cur[C].Frees - Base[C].Frees;
+    if (Allocs == 0 && Frees == 0)
+      continue;
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "%s\n      {\"block_bytes\": %zu, \"allocs\": %llu, \"frees\": "
+        "%llu, \"refill_batches\": %llu, \"drain_batches\": %llu, "
+        "\"slab_carves\": %llu}",
+        First ? "" : ",", Cur[C].BlockBytes, (unsigned long long)Allocs,
+        (unsigned long long)Frees,
+        (unsigned long long)(Cur[C].RefillBatches - Base[C].RefillBatches),
+        (unsigned long long)(Cur[C].DrainBatches - Base[C].DrainBatches),
+        (unsigned long long)(Cur[C].SlabCarves - Base[C].SlabCarves));
+    Out += Buf;
+    First = false;
+  }
+  Out += First ? "]" : "\n    ]";
+  return Out;
+}
+
+void poolReset() { poolBaseline() = pool_allocator::stats(); }
+#endif // CPAM_POOL_ALLOC
+
+std::string &statsDumpPath() {
+  static std::string P;
+  return P;
+}
+
+void dumpStatsAtExit() {
+  const std::string &P = statsDumpPath();
+  std::string Json = export_json();
+  if (P.empty() || P == "1" || P == "stderr") {
+    std::fprintf(stderr, "CPAM_STATS_DUMP:\n%s\n", Json.c_str());
+    return;
+  }
+  std::FILE *F = std::fopen(P.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "CPAM_STATS_DUMP: cannot write %s\n", P.c_str());
+    return;
+  }
+  std::fprintf(F, "%s\n", Json.c_str());
+  std::fclose(F);
+}
+
+std::string &tracePath() {
+  static std::string P;
+  return P;
+}
+
+void flushTraceAtExit() {
+  if (!trace::write_json(tracePath()))
+    std::fprintf(stderr, "CPAM_TRACE: cannot write %s\n",
+                 tracePath().c_str());
+}
+
+/// Registers the built-in sources and installs the env-driven exit hooks.
+/// Runs during static initialization of cpam_core (before main), so the
+/// atexit handlers run after main-time statics are gone — see the file
+/// header for the ordering argument.
+struct installer {
+  installer() {
+    registry &R = registry::get();
+    R.register_source("scheduler", schedulerJson, schedulerReset);
+#if CPAM_POOL_ALLOC
+    R.register_source("pool", poolJson, poolReset);
+#endif
+    if (const char *Env = std::getenv("CPAM_STATS_DUMP");
+        Env && *Env && std::strcmp(Env, "0") != 0) {
+      statsDumpPath() = Env;
+      std::atexit(dumpStatsAtExit);
+    }
+    if (const char *Env = std::getenv("CPAM_TRACE");
+        Env && std::atoi(Env) > 0) {
+      trace::set_level(std::atoi(Env));
+      const char *Out = std::getenv("CPAM_TRACE_OUT");
+      tracePath() = Out && *Out ? Out : "cpam_trace.json";
+      std::atexit(flushTraceAtExit);
+    }
+  }
+};
+installer TheInstaller;
+
+} // namespace
+} // namespace obs
+} // namespace cpam

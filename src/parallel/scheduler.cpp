@@ -9,11 +9,18 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "src/obs/trace.h"
+
 using namespace cpam;
 using namespace cpam::par;
 
 namespace {
 thread_local int ThisWorkerId = -1;
+
+/// Tracks the singleton's lifetime for exit-time telemetry readers (see
+/// Scheduler::alive()). File-scope atomic: trivially destructible, so it
+/// stays readable at any point of static destruction.
+std::atomic<bool> SchedulerAlive{false};
 
 int chooseNumWorkers() {
   if (const char *Env = std::getenv("CPAM_NUM_THREADS")) {
@@ -86,6 +93,10 @@ Scheduler &Scheduler::get() {
 
 int Scheduler::workerId() { return ThisWorkerId; }
 
+bool Scheduler::alive() {
+  return SchedulerAlive.load(std::memory_order_acquire);
+}
+
 int Scheduler::threadSlot() {
   // Not cached across calls so a thread that later joins the pool (the main
   // thread becomes worker 0 when it first constructs the scheduler) starts
@@ -107,9 +118,11 @@ Scheduler::Scheduler()
   Threads.reserve(NumWorkers - 1);
   for (int I = 1; I < NumWorkers; ++I)
     Threads.emplace_back([this, I] { workerLoop(I); });
+  SchedulerAlive.store(true, std::memory_order_release);
 }
 
 Scheduler::~Scheduler() {
+  SchedulerAlive.store(false, std::memory_order_release);
   Stop.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> Lock(ParkM);
@@ -161,6 +174,10 @@ void Scheduler::push(int Id, Task *T) {
     D.ApproxSize.store(D.Q.size(), std::memory_order_relaxed);
   }
   counter_bump(Stats[Id].Forks);
+  // Per-fork instants only at the verbose trace level: forks are the
+  // hottest event in the system and would wrap the ring in milliseconds.
+  if (obs::trace::level() >= 2)
+    obs::trace::instant("fork", "sched");
   unparkOne(Id);
 }
 
@@ -236,6 +253,8 @@ Task *Scheduler::steal(int Id) {
     }
   }
   counter_bump(T ? Stats[Id].Steals : Stats[Id].FailedSteals);
+  if (T && obs::trace::level() >= 2)
+    obs::trace::instant("steal", "sched");
   return T;
 }
 
@@ -272,6 +291,7 @@ void Scheduler::park(int Id) {
   }
   counter_bump(Stats[Id].Parks);
   {
+    obs::trace::span S("park", "sched");
     std::unique_lock<std::mutex> Lock(ParkM);
     ParkCV.wait_for(Lock, kParkBackstop, [&] {
       return WakeEpoch != E || Stop.load(std::memory_order_relaxed);
@@ -288,6 +308,7 @@ void Scheduler::waitHelping(int Id, Task *T) {
   while (!T->Done.load(std::memory_order_acquire)) {
     Task *Other = steal(Id);
     if (Other) {
+      obs::trace::span S("task", "sched");
       runTask(Other);
       Failed = 0;
       continue;
@@ -344,6 +365,7 @@ void Scheduler::joinPark(int Id, Task *T) {
   }
   counter_bump(Stats[Id].JoinParks);
   {
+    obs::trace::span S("join_park", "sched");
     std::unique_lock<std::mutex> Lock(JoinM);
     JoinCV.wait_for(Lock, kParkBackstop, [&] {
       return JoinEpoch != E || T->Done.load(std::memory_order_relaxed) ||
@@ -359,6 +381,7 @@ void Scheduler::workerLoop(int Id) {
   while (!Stop.load(std::memory_order_acquire)) {
     Task *T = steal(Id);
     if (T) {
+      obs::trace::span S("task", "sched");
       runTask(T);
       Failed = 0;
       continue;

@@ -116,6 +116,12 @@ public:
   /// Returns the calling thread's worker id, or -1 for non-pool threads.
   static int workerId();
 
+  /// True while the singleton exists (between get()'s construction and
+  /// static destruction). Exit-time telemetry consumers (the obs registry's
+  /// scheduler source) check this instead of calling get(), which would
+  /// either construct a pool at exit or touch a destroyed one.
+  static bool alive();
+
   /// Returns a small dense slot id for *any* thread: pool workers report
   /// their worker id; foreign threads (user-spawned std::threads, test
   /// harness threads) get stable ids handed out above kForeignSlotBase.

@@ -56,11 +56,39 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serving/epoch.h"
 #include "src/util/datagen.h"
 
 namespace cpam {
 namespace serving {
+
+/// The serving layer's obs-registry bindings, resolved once: latency
+/// histograms for the three lifecycle verbs (ns domain), the ingest
+/// queue-depth gauge, and the published/reclaimed version counters. Shared
+/// by every chain/pipeline instance in the process — instance-granular
+/// numbers stay available through the per-object stats accessors.
+struct serving_metrics_t {
+  obs::histogram &AcquireNs;
+  obs::histogram &PublishNs;
+  obs::histogram &ReclaimNs;
+  obs::gauge &QueueDepth;
+  obs::counter &Published;
+  obs::counter &Reclaimed;
+};
+
+inline serving_metrics_t &serving_metrics() {
+  // References into the leaked registry: valid for the process lifetime.
+  static serving_metrics_t M{
+      obs::registry::get().get_histogram("serving.acquire_ns"),
+      obs::registry::get().get_histogram("serving.publish_ns"),
+      obs::registry::get().get_histogram("serving.reclaim_ns"),
+      obs::registry::get().get_gauge("serving.queue_depth"),
+      obs::registry::get().get_counter("serving.published"),
+      obs::registry::get().get_counter("serving.reclaimed")};
+  return M;
+}
 
 template <class T> class version_chain {
 public:
@@ -88,17 +116,29 @@ public:
   /// refcount bump, unpin. Wait-free apart from the slot claim. Safe from
   /// any thread, concurrent with publish().
   T acquire() const {
+    // Sampled timing (1 in 256 per thread): acquire is ~a hundred ns, so
+    // two unconditional clock reads would be a double-digit-percent tax.
+    const bool Timed = obs::sampled<8>();
+    const uint64_t T0 = Timed ? obs::now_ns() : 0;
     epoch_manager::guard G(Epochs);
     version_node *V = Current.load(std::memory_order_seq_cst);
-    return V->Value;
+    T Snap = V->Value;
+    if (Timed)
+      serving_metrics().AcquireNs.record(obs::now_ns() - T0);
+    return Snap;
   }
 
   /// Snapshot plus its version sequence number.
   T acquire(uint64_t &SeqOut) const {
+    const bool Timed = obs::sampled<8>();
+    const uint64_t T0 = Timed ? obs::now_ns() : 0;
     epoch_manager::guard G(Epochs);
     version_node *V = Current.load(std::memory_order_seq_cst);
     SeqOut = V->Seq;
-    return V->Value;
+    T Snap = V->Value;
+    if (Timed)
+      serving_metrics().AcquireNs.record(obs::now_ns() - T0);
+    return Snap;
   }
 
   /// Sequence number of the current version (1-based, monotone).
@@ -112,6 +152,9 @@ public:
   /// reader can still observe. Single writer only.
   void publish(T Next) {
     assert(!WriterActive.exchange(true) && "version_chain: second writer");
+    obs::trace::span S("publish", "serve");
+    // Unsampled timing: one publish per batch, the clock reads are noise.
+    const uint64_t T0 = CPAM_METRICS ? obs::now_ns() : 0;
     version_node *Old = Current.load(std::memory_order_relaxed);
     version_node *N = new version_node{std::move(Next), Old->Seq + 1};
     Current.store(N, std::memory_order_seq_cst);
@@ -121,6 +164,10 @@ public:
     Old->NextRetired = RetiredHead;
     RetiredHead = Old;
     ++NumRetired;
+    if (CPAM_METRICS) {
+      serving_metrics().PublishNs.record(obs::now_ns() - T0);
+      serving_metrics().Published.inc();
+    }
     reclaimLocked();
     WriterActive.store(false);
   }
@@ -154,6 +201,8 @@ private:
   size_t reclaimLocked() {
     if (!RetiredHead)
       return 0;
+    obs::trace::span S("reclaim", "serve");
+    const uint64_t T0 = CPAM_METRICS ? obs::now_ns() : 0;
     uint64_t MinActive = Epochs.min_active();
     version_node **Link = &RetiredHead;
     size_t Freed = 0;
@@ -169,6 +218,10 @@ private:
     }
     NumRetired -= Freed;
     NumReclaimed += Freed;
+    if (CPAM_METRICS) {
+      serving_metrics().ReclaimNs.record(obs::now_ns() - T0);
+      serving_metrics().Reclaimed.inc(Freed);
+    }
     return Freed;
   }
 
@@ -222,6 +275,7 @@ public:
     Pending.push_back(std::move(Item));
     ++NumSubmitted;
     L.unlock();
+    serving_metrics().QueueDepth.add(1);
     NotEmpty.notify_one();
     return true;
   }
@@ -234,6 +288,7 @@ public:
     Pending.push_back(std::move(Item));
     ++NumSubmitted;
     L.unlock();
+    serving_metrics().QueueDepth.add(1);
     NotEmpty.notify_one();
     return true;
   }
@@ -291,9 +346,13 @@ private:
         Applying = true;
       }
       NotFull.notify_all();
+      serving_metrics().QueueDepth.sub(static_cast<int64_t>(Batch.size()));
       size_t Applied = Batch.size();
-      Tip = Apply(Tip, std::move(Batch));
-      Chain.publish(Tip);
+      {
+        obs::trace::span S("apply_batch", "serve");
+        Tip = Apply(Tip, std::move(Batch));
+        Chain.publish(Tip);
+      }
       Batch.clear();
       {
         std::lock_guard<std::mutex> L(M);
