@@ -29,6 +29,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -39,6 +40,7 @@
 #include "src/obs/metrics.h"
 #include "src/parallel/random.h"
 #include "src/serving/version_chain.h"
+#include "src/util/failpoint.h"
 
 using namespace cpam;
 using namespace cpam::bench;
@@ -219,6 +221,129 @@ void addRows(JsonReport &Json, const char *Tag, const EpisodeResult &R) {
   Count("ingest_full_waits", R.FullWaits);
 }
 
+//===----------------------------------------------------------------------===//
+// Overload episodes: open-loop ingest past queue capacity per shed policy.
+//===----------------------------------------------------------------------===//
+
+struct OverloadResult {
+  const char *Tag = "";
+  uint64_t Submitted = 0, Applied = 0, Rejected = 0, Shed = 0;
+  uint64_t DeadlineTimeouts = 0, FullWaits = 0;
+  size_t AcquireSamples = 0;
+  double AcquireP50 = 0, AcquireP99 = 0; // Seconds.
+  uint64_t RetiredBacklogHw = 0;
+};
+
+/// One overload episode: the "serving.slow_apply" failpoint wedges every
+/// batch (2ms dwell) so an open-loop producer outruns the writer and the
+/// queue saturates; the episode then measures what each overload policy
+/// does to producers (reject/shed/deadline counters) and to readers
+/// (snapshot-acquire latency while the queue is pinned at capacity).
+/// Unlike the parity rows above, this row is *meant* to run armed — it is
+/// the robustness benchmark, and it arms/disarms its own failpoint.
+OverloadResult runOverloadEpisode(const sym_graph &G0, const char *Tag,
+                                  serving::overload_policy Policy,
+                                  bool UseDeadline, double Secs) {
+  obs::reset_all();
+  fail::arm("serving.slow_apply", "always/arg=2");
+  serving::versioned_graph<sym_graph>::options O;
+  O.QueueCapacity = 4096;
+  O.BatchWindow = 1024;
+  O.Policy = Policy;
+  serving::versioned_graph<sym_graph> VG(G0, O);
+
+  std::atomic<bool> Stop{false};
+  std::thread Producer([&] {
+    RmatParams P;
+    P.Seed = 7;
+    while (!Stop.load(std::memory_order_relaxed)) {
+      auto Upd = rmat_edges(14, 256, P);
+      P.Seed = hash64(P.Seed);
+      for (auto &[U, V] : Upd) {
+        if (U == V)
+          continue;
+        bool Ok = UseDeadline
+                      ? VG.pipeline().submit_for(
+                            edge_pair{U, V}, std::chrono::milliseconds(1))
+                      : VG.pipeline().submit(edge_pair{U, V});
+        // Refusals are the point of this episode; only a stopping
+        // pipeline ends the loop early.
+        (void)Ok;
+        if (Stop.load(std::memory_order_relaxed))
+          return;
+      }
+    }
+  });
+
+  std::vector<double> Acq;
+  std::thread Reader([&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      Timer T;
+      sym_graph Snap = VG.snapshot();
+      Acq.push_back(T.elapsed());
+      volatile size_t Sink = Snap.num_vertices();
+      (void)Sink;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  Timer Phase;
+  while (Phase.elapsed() < Secs)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Stop.store(true, std::memory_order_relaxed);
+  Reader.join();
+  VG.stop(); // Wakes a producer parked on a full queue (Block policy).
+  Producer.join();
+  auto St = VG.ingest_stats();
+  fail::disarm("serving.slow_apply");
+
+  OverloadResult R;
+  R.Tag = Tag;
+  R.Submitted = St.Submitted;
+  R.Applied = St.Applied;
+  R.Rejected = St.Rejected;
+  R.Shed = St.Shed;
+  R.DeadlineTimeouts = St.DeadlineTimeouts;
+  R.FullWaits = St.FullWaits;
+  R.AcquireSamples = Acq.size();
+  R.AcquireP50 = percentile(Acq, 0.50);
+  R.AcquireP99 = percentile(Acq, 0.99);
+  R.RetiredBacklogHw = VG.chain().retired_high_water();
+  return R;
+}
+
+void printOverload(const OverloadResult &R) {
+  std::printf("overload %-8s submitted=%8llu applied=%8llu rejected=%8llu "
+              "shed=%8llu deadline_to=%6llu full_waits=%6llu  "
+              "acquire p50=%7.2fus p99=%7.2fus (%zu)\n",
+              R.Tag, static_cast<unsigned long long>(R.Submitted),
+              static_cast<unsigned long long>(R.Applied),
+              static_cast<unsigned long long>(R.Rejected),
+              static_cast<unsigned long long>(R.Shed),
+              static_cast<unsigned long long>(R.DeadlineTimeouts),
+              static_cast<unsigned long long>(R.FullWaits),
+              R.AcquireP50 * 1e6, R.AcquireP99 * 1e6, R.AcquireSamples);
+}
+
+void addOverloadRows(JsonReport &Json, const OverloadResult &R) {
+  char Name[128];
+  auto Count = [&](const char *Metric, uint64_t V) {
+    std::snprintf(Name, sizeof(Name), "overload_%s_%s", R.Tag, Metric);
+    Json.add_count(Name, V);
+  };
+  Count("submitted", R.Submitted);
+  Count("applied", R.Applied);
+  Count("rejected", R.Rejected);
+  Count("shed", R.Shed);
+  Count("deadline_timeouts", R.DeadlineTimeouts);
+  Count("full_waits", R.FullWaits);
+  Count("retired_backlog_hw", R.RetiredBacklogHw);
+  std::snprintf(Name, sizeof(Name), "overload_%s_acquire_p99", R.Tag);
+  Json.add(Name, -1, R.AcquireSamples, R.AcquireP99);
+  std::snprintf(Name, sizeof(Name), "overload_%s_acquire_p50", R.Tag);
+  Json.add(Name, -1, R.AcquireSamples, R.AcquireP50);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -261,6 +386,28 @@ int main(int argc, char **argv) {
         runEpisode(A0, NumV, LogN, R, Secs, BatchWindow, QueueCap);
     printResult("aspen", Res);
     addRows(Json, "aspen", Res);
+  }
+
+  // Overload rows: queue saturated on purpose (writer wedged by the
+  // slow-apply failpoint) — one row per producer-side overload strategy.
+  if (arg_size(argc, argv, "overload", 1) != 0) {
+    double OSecs = std::min(Secs, 1.0);
+    struct {
+      const char *Tag;
+      serving::overload_policy Policy;
+      bool Deadline;
+    } Rows[] = {
+        {"block", serving::overload_policy::Block, false},
+        {"deadline", serving::overload_policy::Block, true},
+        {"reject", serving::overload_policy::RejectNewest, false},
+        {"shed", serving::overload_policy::ShedOldest, false},
+    };
+    for (const auto &Row : Rows) {
+      OverloadResult R =
+          runOverloadEpisode(G0, Row.Tag, Row.Policy, Row.Deadline, OSecs);
+      printOverload(R);
+      addOverloadRows(Json, R);
+    }
   }
 
   // Registry snapshot (serving histograms/gauge, scheduler + pool sources)

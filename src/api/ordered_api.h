@@ -105,17 +105,28 @@ public:
 
   //===--------------------------------------------------------------------===
   // In-place convenience mutators (consume this reference; nodes not shared
-  // with other snapshots are updated without copying).
+  // with other snapshots are updated without copying). Root is detached
+  // before the consuming call: the op owns (and on a throw has released)
+  // the old tree, so an injected allocation failure leaves this collection
+  // empty rather than dangling — the basic guarantee, leak-free either way.
   //===--------------------------------------------------------------------===
 
   void insert_inplace(entry_t E) {
-    Root = Ops::insert(Root, std::move(E));
+    node_t *R = Root;
+    Root = nullptr;
+    Root = Ops::insert(R, std::move(E));
   }
   template <class CombineOp>
   void insert_inplace(entry_t E, const CombineOp &Op) {
-    Root = Ops::insert(Root, std::move(E), Op);
+    node_t *R = Root;
+    Root = nullptr;
+    Root = Ops::insert(R, std::move(E), Op);
   }
-  void remove_inplace(const key_t &K) { Root = Ops::remove(Root, K); }
+  void remove_inplace(const key_t &K) {
+    node_t *R = Root;
+    Root = nullptr;
+    Root = Ops::remove(R, K);
+  }
 
   //===--------------------------------------------------------------------===
   // Set algebra.

@@ -36,6 +36,8 @@
 #include "src/core/pool_allocator.h"
 #endif
 
+#include "src/util/failpoint.h"
+
 namespace cpam {
 
 /// True when node storage is served by the pooled allocator.
@@ -76,16 +78,23 @@ struct alloc_stats {
   }
 };
 
-/// Allocates \p Bytes of node storage (16-byte aligned).
+/// Allocates \p Bytes of node storage (16-byte aligned). Throws
+/// std::bad_alloc on exhaustion — or when the "alloc.node" failpoint fires
+/// (the chaos suites' injection site, covering both pool modes). Accounting
+/// happens only after the storage is secured, so a throw from any layer
+/// (failpoint, pool refill, heap) leaves the live counters untouched.
 inline void *tree_alloc(size_t Bytes) {
+  if (CPAM_FAILPOINT_ACTIVE("alloc.node"))
+    throw std::bad_alloc();
+#if CPAM_POOL_ALLOC
+  void *P = pool_allocator::allocate(Bytes);
+#else
+  void *P = ::operator new(Bytes, std::align_val_t(16));
+#endif
   alloc_stats::Shard &S = alloc_stats::my_shard();
   S.Objects.fetch_add(1, std::memory_order_relaxed);
   S.Bytes.fetch_add(static_cast<int64_t>(Bytes), std::memory_order_relaxed);
-#if CPAM_POOL_ALLOC
-  return pool_allocator::allocate(Bytes);
-#else
-  return ::operator new(Bytes, std::align_val_t(16));
-#endif
+  return P;
 }
 
 /// Frees node storage previously obtained from tree_alloc.

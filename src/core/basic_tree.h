@@ -42,6 +42,7 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
   using entry_t = typename NL::entry_t;
   using key_t = typename NL::key_t;
   using temp_buf = typename NL::temp_buf;
+  using node_guard = typename NL::node_guard;
   using NL::as_flat;
   using NL::as_regular;
   using NL::dec;
@@ -106,20 +107,29 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
   /// weight balance (as join does); this function enforces only the
   /// blocked-leaves invariant: sizes in [B,2B] fold into one flat node,
   /// sizes in (2B,4B] redistribute around the median into two flat nodes.
+  /// Like every consuming builder: a throw (injected or real bad_alloc)
+  /// releases all owned inputs, so callers holding siblings only need their
+  /// own guards.
   static node_t *node_join(node_t *L, entry_t E, node_t *R) {
     if constexpr (!kBlocked)
       return make_regular(L, std::move(E), R);
     size_t S = size(L) + size(R) + 1;
     if (S < kB)
       return make_regular(L, std::move(E), R);
-    if (S > 4 * kB)
-      return make_regular(normalize(L), std::move(E), normalize(R));
+    if (S > 4 * kB) {
+      node_guard GR(R);
+      node_t *Ln = normalize(L);
+      node_guard GLn(Ln);
+      node_t *Rn = normalize(GR.release());
+      return make_regular(GLn.release(), std::move(E), Rn);
+    }
     if (S <= 2 * kB) {
       // Fold everything into a single flat node.
+      node_guard GL(L), GR(R);
       temp_buf Buf(S);
-      size_t Ls = flatten(L, Buf.data());
+      size_t Ls = flatten(GL.release(), Buf.data());
       ::new (static_cast<void *>(Buf.data() + Ls)) entry_t(std::move(E));
-      flatten(R, Buf.data() + Ls + 1);
+      flatten(GR.release(), Buf.data() + Ls + 1);
       Buf.set_count(S);
       return make_flat(Buf.data(), S);
     }
@@ -128,14 +138,21 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     if (is_flat(L) && is_flat(R) && L->Size >= kB && R->Size >= kB)
       return make_regular(L, std::move(E), R);
     // Otherwise redistribute into two equal flat blocks around the median.
+    node_guard GL(L), GR(R);
     temp_buf Buf(S);
-    size_t Ls = flatten(L, Buf.data());
+    size_t Ls = flatten(GL.release(), Buf.data());
     ::new (static_cast<void *>(Buf.data() + Ls)) entry_t(std::move(E));
-    flatten(R, Buf.data() + Ls + 1);
+    flatten(GR.release(), Buf.data() + Ls + 1);
     Buf.set_count(S);
     size_t Mid = S / 2;
     node_t *Lf = make_flat(Buf.data(), Mid);
-    node_t *Rf = make_flat(Buf.data() + Mid + 1, S - Mid - 1);
+    node_t *Rf;
+    try {
+      Rf = make_flat(Buf.data() + Mid + 1, S - Mid - 1);
+    } catch (...) {
+      dec(Lf);
+      throw;
+    }
     return make_regular(Lf, std::move(Buf.data()[Mid]), Rf);
   }
 
@@ -150,8 +167,9 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     if (!T || is_flat(T) || T->Size >= kB)
       return T;
     size_t N = T->Size;
+    node_guard G(T);
     temp_buf Buf(N);
-    flatten(T, Buf.data());
+    flatten(G.release(), Buf.data());
     Buf.set_count(N);
     return make_flat(Buf.data(), N);
   }
@@ -165,8 +183,9 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     if (!C || is_flat(C) || C->Size < kB || C->Size > 2 * kB)
       return C;
     size_t N = C->Size;
+    node_guard G(C);
     temp_buf Buf(N);
-    flatten(C, Buf.data());
+    flatten(G.release(), Buf.data());
     Buf.set_count(N);
     return make_flat(Buf.data(), N);
   }
@@ -220,19 +239,31 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     if (is_flat(Tl))
       return node_join(Tl, std::move(E), Tr);
     exposed X = expose(Tl);
+    node_guard GXL(X.L);
     node_t *T2 = join_right(X.R, std::move(E), Tr);
     if (balanced(weight(X.L), weight(T2)))
-      return node_join(X.L, std::move(X.E), T2);
+      return node_join(GXL.release(), std::move(X.E), T2);
     exposed Y = expose(T2);
     if (balanced(weight(X.L), weight(Y.L)) &&
-        balanced(weight(X.L) + weight(Y.L), weight(Y.R)))
+        balanced(weight(X.L) + weight(Y.L), weight(Y.R))) {
       // Single (left) rotation.
-      return node_join(node_join(X.L, std::move(X.E), Y.L), std::move(Y.E),
-                       Y.R);
+      node_guard GYR(Y.R);
+      node_t *Inner = node_join(GXL.release(), std::move(X.E), Y.L);
+      return node_join(Inner, std::move(Y.E), GYR.release());
+    }
     // Double rotation: rotate Y.L right, then the root left.
+    node_guard GYR(Y.R);
     exposed Z = expose(Y.L);
-    return node_join(node_join(X.L, std::move(X.E), Z.L), std::move(Z.E),
-                     node_join(Z.R, std::move(Y.E), Y.R));
+    node_guard GZR(Z.R);
+    node_t *A = node_join(GXL.release(), std::move(X.E), Z.L);
+    node_t *B;
+    try {
+      B = node_join(GZR.release(), std::move(Y.E), GYR.release());
+    } catch (...) {
+      dec(A);
+      throw;
+    }
+    return node_join(A, std::move(Z.E), B);
   }
 
   static node_t *join_left(node_t *Tl, entry_t E, node_t *Tr) {
@@ -241,19 +272,31 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     if (is_flat(Tr))
       return node_join(Tl, std::move(E), Tr);
     exposed X = expose(Tr);
+    node_guard GXR(X.R);
     node_t *T2 = join_left(Tl, std::move(E), X.L);
     if (balanced(weight(T2), weight(X.R)))
-      return node_join(T2, std::move(X.E), X.R);
+      return node_join(T2, std::move(X.E), GXR.release());
     exposed Y = expose(T2);
     if (balanced(weight(Y.R), weight(X.R)) &&
-        balanced(weight(Y.R) + weight(X.R), weight(Y.L)))
+        balanced(weight(Y.R) + weight(X.R), weight(Y.L))) {
       // Single (right) rotation.
-      return node_join(Y.L, std::move(Y.E),
-                       node_join(Y.R, std::move(X.E), X.R));
+      node_guard GYL(Y.L);
+      node_t *Inner = node_join(Y.R, std::move(X.E), GXR.release());
+      return node_join(GYL.release(), std::move(Y.E), Inner);
+    }
     // Double rotation: rotate Y.R left, then the root right.
+    node_guard GYL(Y.L);
     exposed Z = expose(Y.R);
-    return node_join(node_join(Y.L, std::move(Y.E), Z.L), std::move(Z.E),
-                     node_join(Z.R, std::move(X.E), X.R));
+    node_guard GZL(Z.L);
+    node_t *B = node_join(Z.R, std::move(X.E), GXR.release());
+    node_t *A;
+    try {
+      A = node_join(GYL.release(), std::move(Y.E), GZL.release());
+    } catch (...) {
+      dec(B);
+      throw;
+    }
+    return node_join(A, std::move(Z.E), B);
   }
 
   //===--------------------------------------------------------------------===
@@ -271,9 +314,15 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     }
     size_t Mid = N / 2;
     node_t *L = nullptr, *R = nullptr;
-    par::par_do_if(
-        N >= par_gran(), [&] { L = from_array_move(A, Mid); },
-        [&] { R = from_array_move(A + Mid + 1, N - Mid - 1); });
+    try {
+      par::par_do_if(
+          N >= par_gran(), [&] { L = from_array_move(A, Mid); },
+          [&] { R = from_array_move(A + Mid + 1, N - Mid - 1); });
+    } catch (...) {
+      dec(L);
+      dec(R);
+      throw;
+    }
     return make_regular(L, std::move(A[Mid]), R);
   }
 
@@ -608,9 +657,14 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     }
 
     /// Seals the current cursor chunk (N entries) as one finished leaf.
+    /// The "leaf.seal" failpoint models an allocation failure mid-merge:
+    /// the cursor still owns the staged chunk bytes, so abandonment after
+    /// a throw here leaks nothing.
     void seal(size_t N) {
       assert(Leaves && NLeaves < MaxUnits &&
              "sealing requires the unit arrays (MaxN > 2B)");
+      if (CPAM_FAILPOINT_ACTIVE("leaf.seal"))
+        throw std::bad_alloc();
       typename NL::flat_t *F = NL::alloc_flat(N, C->bytes());
       C->cut(NL::payload(F));
       Leaves[NLeaves++] = F;
@@ -656,14 +710,26 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     /// Balanced top over \p K sealed units and K-1 separators, built with
     /// join so near-equal unit weights (full chunks, plus final units in
     /// [B, 2B]) always land inside the alpha balance bound.
+    /// Consumed leaf slots are nulled so that if assembly throws partway,
+    /// the writer's destructor decs only the leaves still unconsumed
+    /// (dec(nullptr) is a no-op) — never a double release.
     static node_t *build_top(node_t **Ls, entry_t *Ss, size_t K) {
-      if (K == 1)
-        return Ls[0];
+      if (K == 1) {
+        node_t *Out = Ls[0];
+        Ls[0] = nullptr;
+        return Out;
+      }
       size_t Mid = K / 2;
       node_t *L = nullptr, *R = nullptr;
-      par::par_do_if(
-          K * kChunk >= par_gran(), [&] { L = build_top(Ls, Ss, Mid); },
-          [&] { R = build_top(Ls + Mid, Ss + Mid, K - Mid); });
+      try {
+        par::par_do_if(
+            K * kChunk >= par_gran(), [&] { L = build_top(Ls, Ss, Mid); },
+            [&] { R = build_top(Ls + Mid, Ss + Mid, K - Mid); });
+      } catch (...) {
+        dec(L);
+        dec(R);
+        throw;
+      }
       return join(L, std::move(Ss[Mid - 1]), R);
     }
 
@@ -890,29 +956,48 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
         IA[I] = lower_bound_idx(A, N1, KB(B[IB[I]]));
       }
     }
-    node_t *Parts[kMaxMergeChunks];
+    // Zero-initialized so a throwing chunk merge leaves its slot (and any
+    // never-run slots) as harmless nullptrs for the cleanup sweep.
+    node_t *Parts[kMaxMergeChunks] = {};
     obs::trace::span MergeSpan("merge", "merge");
-    par::parallel_for(
-        0, C,
-        [&](size_t I) {
-          obs::trace::span S("merge_chunk", "merge");
-          Parts[I] = MC(A + IA[I], IA[I + 1] - IA[I], B + IB[I],
-                        IB[I + 1] - IB[I]);
-        },
-        /*Granularity=*/1);
-    obs::trace::span JoinSpan("merge_join", "merge");
-    return join_parts(Parts, C);
+    try {
+      par::parallel_for(
+          0, C,
+          [&](size_t I) {
+            obs::trace::span S("merge_chunk", "merge");
+            Parts[I] = MC(A + IA[I], IA[I + 1] - IA[I], B + IB[I],
+                          IB[I + 1] - IB[I]);
+          },
+          /*Granularity=*/1);
+      obs::trace::span JoinSpan("merge_join", "merge");
+      return join_parts(Parts, C);
+    } catch (...) {
+      // join_parts nulls slots as it consumes them, so this sweep releases
+      // exactly the chunk trees nobody owns yet.
+      for (size_t I = 0; I < C; ++I)
+        dec(Parts[I]);
+      throw;
+    }
   }
 
   /// Balanced concatenation of \p K adjacent chunk trees: divide and
   /// conquer so intermediate joins stay near-balanced regardless of how
   /// the per-chunk output sizes skew.
   static node_t *join_parts(node_t **P, size_t K) {
-    if (K == 1)
-      return P[0];
+    if (K == 1) {
+      node_t *Out = P[0];
+      P[0] = nullptr; // Consumed: the caller's failure sweep must not re-dec.
+      return Out;
+    }
     size_t Mid = K / 2;
     node_t *L = join_parts(P, Mid);
-    node_t *R = join_parts(P + Mid, K - Mid);
+    node_t *R;
+    try {
+      R = join_parts(P + Mid, K - Mid);
+    } catch (...) {
+      dec(L);
+      throw;
+    }
     return join2(L, R);
   }
 
@@ -959,19 +1044,30 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
         while (!C.done())
           WR.push(C.take());
         Out.L = WL.finish();
-        Out.R = WR.finish();
+        try {
+          Out.R = WR.finish();
+        } catch (...) {
+          dec(Out.L);
+          throw;
+        }
         return Out;
       }
       // Array base case: binary search inside the decoded block.
+      node_guard G(T);
       temp_buf Buf(N);
-      flatten(T, Buf.data());
+      flatten(G.release(), Buf.data());
       Buf.set_count(N);
       entry_t *A = Buf.data();
       size_t I = lower_bound_idx(A, N, K);
       bool Found = I < N && !Entry::comp(K, Entry::get_key(A[I]));
       split_t Out;
       Out.L = from_array_move(A, I);
-      Out.R = from_array_move(A + I + Found, N - I - Found);
+      try {
+        Out.R = from_array_move(A + I + Found, N - I - Found);
+      } catch (...) {
+        dec(Out.L);
+        throw;
+      }
       if (Found)
         Out.E.emplace(std::move(A[I]));
       return Out;
@@ -979,13 +1075,19 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     exposed X = expose(T);
     const key_t &Ke = Entry::get_key(X.E);
     if (Entry::comp(K, Ke)) {
+      node_guard GR(X.R);
       split_t S = split(X.L, K);
-      S.R = join(S.R, std::move(X.E), X.R);
+      node_guard GL(S.L);
+      S.R = join(S.R, std::move(X.E), GR.release());
+      GL.release();
       return S;
     }
     if (Entry::comp(Ke, K)) {
+      node_guard GL(X.L);
       split_t S = split(X.R, K);
-      S.L = join(X.L, std::move(X.E), S.L);
+      node_guard GR(S.R);
+      S.L = join(GL.release(), std::move(X.E), S.L);
+      GR.release();
       return S;
     }
     split_t Out;
@@ -1010,8 +1112,9 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
         entry_t Last = C.take();
         return {W.finish(), std::move(Last)};
       }
+      node_guard G(T);
       temp_buf Buf(N);
-      flatten(T, Buf.data());
+      flatten(G.release(), Buf.data());
       Buf.set_count(N);
       node_t *Rest = from_array_move(Buf.data(), N - 1);
       return {Rest, std::move(Buf.data()[N - 1])};
@@ -1019,8 +1122,9 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
     exposed X = expose(T);
     if (!X.R)
       return {X.L, std::move(X.E)};
+    node_guard GL(X.L);
     auto [Rest, Last] = split_last(X.R);
-    return {join(X.L, std::move(X.E), Rest), std::move(Last)};
+    return {join(GL.release(), std::move(X.E), Rest), std::move(Last)};
   }
 
   /// Concatenates two owned trees (all keys in L precede all keys in R).
@@ -1029,8 +1133,9 @@ struct tree_ops : node_layer<Entry, EncoderT, BlockSizeB> {
       return R;
     if (!R)
       return L;
+    node_guard GR(R);
     auto [Rest, Last] = split_last(L);
-    return join(Rest, std::move(Last), R);
+    return join(Rest, std::move(Last), GR.release());
   }
 };
 

@@ -46,6 +46,7 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
   using entry_t = typename TO::entry_t;
   using key_t = typename TO::key_t;
   using temp_buf = typename TO::temp_buf;
+  using node_guard = typename TO::node_guard;
   using exposed = typename TO::exposed;
   using split_t = typename TO::split_t;
   using TO::dec;
@@ -265,9 +266,10 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       if (flat_fastpath() && TO::flat_splice_wins()) {
         // Leaf splice: copy-prefix / splice / copy-suffix through the
         // cursor pair — no whole-block materialization for a one-entry
-        // change. A 2B+1-entry result chunks into two leaves.
-        leaf_writer W(N + 1);
+        // change. A 2B+1-entry result chunks into two leaves. The reader
+        // adopts T first so a throwing writer constructor releases it.
         leaf_reader C(T);
+        leaf_writer W(N + 1);
         while (!C.done() && key_less(C.key(), entry_key(E)))
           W.push(C.take());
         if (!C.done() && !key_less(entry_key(E), C.key()))
@@ -279,9 +281,10 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
         return W.finish();
       }
       // Array base case: splice into the decoded block.
+      node_guard G(T);
       temp_buf Buf(N + 1);
       entry_t *A = Buf.data();
-      flatten(T, A);
+      flatten(G.release(), A);
       Buf.set_count(N);
       size_t I = lower_bound_idx(A, N, entry_key(E));
       if (I < N && !key_less(entry_key(E), entry_key(A[I]))) {
@@ -297,10 +300,16 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return from_array_move(A, N + 1);
     }
     exposed X = expose(T);
-    if (key_less(entry_key(E), entry_key(X.E)))
-      return join(insert(X.L, std::move(E), Op), std::move(X.E), X.R);
-    if (key_less(entry_key(X.E), entry_key(E)))
-      return join(X.L, std::move(X.E), insert(X.R, std::move(E), Op));
+    if (key_less(entry_key(E), entry_key(X.E))) {
+      node_guard GR(X.R);
+      node_t *L2 = insert(X.L, std::move(E), Op);
+      return join(L2, std::move(X.E), GR.release());
+    }
+    if (key_less(entry_key(X.E), entry_key(E))) {
+      node_guard GL(X.L);
+      node_t *R2 = insert(X.R, std::move(E), Op);
+      return join(GL.release(), std::move(X.E), R2);
+    }
     return node_join(X.L, combine_entries(std::move(X.E), E, Op), X.R);
   }
 
@@ -312,8 +321,8 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       size_t N = T->Size;
       if (flat_fastpath() && TO::flat_splice_wins()) {
         // Leaf splice: stream everything but the matching entry.
-        leaf_writer W(N);
         leaf_reader C(T);
+        leaf_writer W(N);
         while (!C.done() && key_less(C.key(), K))
           W.push(C.take());
         if (!C.done() && !key_less(K, C.key()))
@@ -322,9 +331,10 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
           W.push(C.take());
         return W.finish();
       }
+      node_guard G(T);
       temp_buf Buf(N);
       entry_t *A = Buf.data();
-      flatten(T, A);
+      flatten(G.release(), A);
       Buf.set_count(N);
       size_t I = lower_bound_idx(A, N, K);
       if (I == N || key_less(K, entry_key(A[I])))
@@ -334,10 +344,16 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return from_array_move(A, N - 1);
     }
     exposed X = expose(T);
-    if (key_less(K, entry_key(X.E)))
-      return join(remove(X.L, K), std::move(X.E), X.R);
-    if (key_less(entry_key(X.E), K))
-      return join(X.L, std::move(X.E), remove(X.R, K));
+    if (key_less(K, entry_key(X.E))) {
+      node_guard GR(X.R);
+      node_t *L2 = remove(X.L, K);
+      return join(L2, std::move(X.E), GR.release());
+    }
+    if (key_less(entry_key(X.E), K)) {
+      node_guard GL(X.L);
+      node_t *R2 = remove(X.R, K);
+      return join(GL.release(), std::move(X.E), R2);
+    }
     return join2(X.L, X.R);
   }
 
@@ -739,16 +755,17 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
         // measured ~1.5x slower here). Entry-staging encodings skip this
         // and stream interleaved below — their staging array already is
         // the output.
+        node_guard G1(T1), G2(T2);
         temp_buf B1(N1), B2(N2);
-        flatten(T1, B1.data());
+        flatten(G1.release(), B1.data());
         B1.set_count(N1);
-        flatten(T2, B2.data());
+        flatten(G2.release(), B2.data());
         B2.set_count(N2);
         return merge_arrays(B1.data(), N1, B2.data(), N2, Op);
       }
     }
-    leaf_writer W(N1 + N2);
     leaf_reader A(T1), B(T2);
+    leaf_writer W(N1 + N2);
     while (!A.done() && !B.done()) {
       if (key_less(A.key(), B.key())) {
         W.push(A.take());
@@ -768,8 +785,8 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
 
   template <class CombineOp>
   static node_t *intersect_flat(node_t *T1, node_t *T2, const CombineOp &Op) {
-    leaf_writer W(std::min(size(T1), size(T2)));
     leaf_reader A(T1), B(T2);
+    leaf_writer W(std::min(A.remaining(), B.remaining()));
     while (!A.done() && !B.done()) {
       if (key_less(A.key(), B.key())) {
         A.skip();
@@ -784,8 +801,8 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
   }
 
   static node_t *difference_flat(node_t *T1, node_t *T2) {
-    leaf_writer W(size(T1));
     leaf_reader A(T1), B(T2);
+    leaf_writer W(A.remaining());
     while (!A.done() && !B.done()) {
       if (key_less(A.key(), B.key())) {
         W.push(A.take());
@@ -808,10 +825,11 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
         flat_fastpath() && is_flat(T1) && is_flat(T2) &&
         TO::flat_merge_wins(N1 + N2))
       return union_flat(T1, T2, Op);
+    node_guard G1(T1), G2(T2);
     temp_buf B1(N1), B2(N2);
-    flatten(T1, B1.data());
+    flatten(G1.release(), B1.data());
     B1.set_count(N1);
-    flatten(T2, B2.data());
+    flatten(G2.release(), B2.data());
     B2.set_count(N2);
     return merge_arrays(B1.data(), N1, B2.data(), N2, Op);
   }
@@ -828,14 +846,29 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return T1;
     if (size(T1) + size(T2) <= kappa())
       return union_base(T1, T2, Op);
+    // Guard T1 across expose (which only consumes T2), then hold the four
+    // subtree pieces until both recursive branches own them; par_do_if
+    // always runs both branches, so a throwing side leaves its sibling's
+    // result for the catch to release.
+    node_guard G1(T1);
     exposed X = expose(T2);
-    split_t S = split(T1, entry_key(X.E));
+    node_guard GXL(X.L), GXR(X.R);
+    split_t S = split(G1.release(), entry_key(X.E));
+    node_guard GSL(S.L), GSR(S.R);
     entry_t Mid = S.E ? combine_entries(std::move(*S.E), X.E, Op)
                       : std::move(X.E);
+    node_t *SL = GSL.release(), *XL = GXL.release();
+    node_t *SR = GSR.release(), *XR = GXR.release();
     node_t *L = nullptr, *R = nullptr;
-    par::par_do_if(
-        size(S.L) + size(X.L) >= par_gran(),
-        [&] { L = union_(S.L, X.L, Op); }, [&] { R = union_(S.R, X.R, Op); });
+    try {
+      par::par_do_if(
+          size(SL) + size(XL) >= par_gran(),
+          [&] { L = union_(SL, XL, Op); }, [&] { R = union_(SR, XR, Op); });
+    } catch (...) {
+      dec(L);
+      dec(R);
+      throw;
+    }
     return join(L, std::move(Mid), R);
   }
 
@@ -846,10 +879,11 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
         flat_fastpath() && is_flat(T1) && is_flat(T2) &&
         TO::flat_splice_wins())
       return intersect_flat(T1, T2, Op);
+    node_guard G1(T1), G2(T2);
     temp_buf B1(N1), B2(N2);
-    flatten(T1, B1.data());
+    flatten(G1.release(), B1.data());
     B1.set_count(N1);
-    flatten(T2, B2.data());
+    flatten(G2.release(), B2.data());
     B2.set_count(N2);
     return intersect_arrays(B1.data(), N1, B2.data(), N2, Op);
   }
@@ -866,17 +900,28 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     }
     if (size(T1) + size(T2) <= kappa())
       return intersect_base(T1, T2, Op);
+    node_guard G1(T1);
     exposed X = expose(T2);
-    split_t S = split(T1, entry_key(X.E));
+    node_guard GXL(X.L), GXR(X.R);
+    split_t S = split(G1.release(), entry_key(X.E));
+    node_guard GSL(S.L), GSR(S.R);
     std::optional<entry_t> Mid =
         S.E ? std::optional<entry_t>(
                   combine_entries(std::move(*S.E), X.E, Op))
             : std::nullopt;
+    node_t *SL = GSL.release(), *XL = GXL.release();
+    node_t *SR = GSR.release(), *XR = GXR.release();
     node_t *L = nullptr, *R = nullptr;
-    par::par_do_if(
-        size(S.L) + size(X.L) >= par_gran(),
-        [&] { L = intersect(S.L, X.L, Op); },
-        [&] { R = intersect(S.R, X.R, Op); });
+    try {
+      par::par_do_if(
+          size(SL) + size(XL) >= par_gran(),
+          [&] { L = intersect(SL, XL, Op); },
+          [&] { R = intersect(SR, XR, Op); });
+    } catch (...) {
+      dec(L);
+      dec(R);
+      throw;
+    }
     if (Mid)
       return join(L, std::move(*Mid), R);
     return join2(L, R);
@@ -888,10 +933,11 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
         flat_fastpath() && is_flat(T1) && is_flat(T2) &&
         TO::flat_splice_wins())
       return difference_flat(T1, T2);
+    node_guard G1(T1), G2(T2);
     temp_buf B1(N1), B2(N2);
-    flatten(T1, B1.data());
+    flatten(G1.release(), B1.data());
     B1.set_count(N1);
-    flatten(T2, B2.data());
+    flatten(G2.release(), B2.data());
     B2.set_count(N2);
     return difference_arrays(B1.data(), N1, B2.data(), N2);
   }
@@ -906,12 +952,22 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       return T1;
     if (size(T1) + size(T2) <= kappa())
       return difference_base(T1, T2);
+    node_guard G1(T1);
     exposed X = expose(T2);
-    split_t S = split(T1, entry_key(X.E));
+    node_guard GXL(X.L), GXR(X.R);
+    split_t S = split(G1.release(), entry_key(X.E));
+    node_t *SL = S.L, *XL = GXL.release();
+    node_t *SR = S.R, *XR = GXR.release();
     node_t *L = nullptr, *R = nullptr;
-    par::par_do_if(
-        size(S.L) + size(X.L) >= par_gran(),
-        [&] { L = difference(S.L, X.L); }, [&] { R = difference(S.R, X.R); });
+    try {
+      par::par_do_if(
+          size(SL) + size(XL) >= par_gran(),
+          [&] { L = difference(SL, XL); }, [&] { R = difference(SR, XR); });
+    } catch (...) {
+      dec(L);
+      dec(R);
+      throw;
+    }
     return join2(L, R);
   }
 
@@ -938,8 +994,8 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
           Nt + N <= 2 * kB) {
         // Leaf splice: stream the block against the sorted batch (result
         // fits one leaf; anything wider goes through merge_arrays below).
-        leaf_writer W(Nt + N);
         leaf_reader C(T);
+        leaf_writer W(Nt + N);
         size_t J = 0;
         while (!C.done() && J < N) {
           if (key_less(C.key(), entry_key(A[J]))) {
@@ -961,23 +1017,32 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       // correctly). merge_arrays picks the fused stream+encode, the
       // quantile-split parallel driver, or the plain array merge — so a
       // large batch against a flat root no longer encodes on one worker.
+      node_guard G(T);
       temp_buf Bt(Nt);
-      flatten(T, Bt.data());
+      flatten(G.release(), Bt.data());
       Bt.set_count(Nt);
       return merge_arrays(Bt.data(), Nt, A, N, Op);
     }
     exposed X = expose(T);
     size_t S = lower_bound_idx(A, N, entry_key(X.E));
     bool Dup = S < N && !key_less(entry_key(X.E), entry_key(A[S]));
+    node_guard GL(X.L), GR(X.R);
     entry_t Mid = Dup ? combine_entries(std::move(X.E), A[S], Op)
                       : std::move(X.E);
+    node_t *XL = GL.release(), *XR = GR.release();
     node_t *L = nullptr, *R = nullptr;
-    par::par_do_if(
-        size(X.L) + size(X.R) + N >= par_gran(),
-        [&] { L = multi_insert_sorted(X.L, A, S, Op); },
-        [&] {
-          R = multi_insert_sorted(X.R, A + S + Dup, N - S - Dup, Op);
-        });
+    try {
+      par::par_do_if(
+          size(XL) + size(XR) + N >= par_gran(),
+          [&] { L = multi_insert_sorted(XL, A, S, Op); },
+          [&] {
+            R = multi_insert_sorted(XR, A + S + Dup, N - S - Dup, Op);
+          });
+    } catch (...) {
+      dec(L);
+      dec(R);
+      throw;
+    }
     return join(L, std::move(Mid), R);
   }
 
@@ -991,8 +1056,8 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
           flat_fastpath() && is_flat(T) && TO::flat_merge_wins(Nt + N)) {
         // Leaf splice: keys in A are sorted and distinct, so each can match
         // at most one block entry.
-        leaf_writer W(Nt);
         leaf_reader C(T);
+        leaf_writer W(Nt);
         size_t J = 0;
         while (!C.done()) {
           while (J < N && key_less(A[J], C.key()))
@@ -1008,8 +1073,9 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       }
       // Flatten + erase base case; erase_arrays splits a large delete
       // batch against a flat root into parallel quantile chunks.
+      node_guard G(T);
       temp_buf Bt(Nt);
-      flatten(T, Bt.data());
+      flatten(G.release(), Bt.data());
       Bt.set_count(Nt);
       return erase_arrays(Bt.data(), Nt, A, N);
     }
@@ -1025,10 +1091,16 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     size_t S = Lo;
     bool Hit = S < N && !key_less(entry_key(X.E), A[S]);
     node_t *L = nullptr, *R = nullptr;
-    par::par_do_if(
-        size(X.L) + size(X.R) >= par_gran(),
-        [&] { L = multi_delete_sorted(X.L, A, S); },
-        [&] { R = multi_delete_sorted(X.R, A + S + Hit, N - S - Hit); });
+    try {
+      par::par_do_if(
+          size(X.L) + size(X.R) >= par_gran(),
+          [&] { L = multi_delete_sorted(X.L, A, S); },
+          [&] { R = multi_delete_sorted(X.R, A + S + Hit, N - S - Hit); });
+    } catch (...) {
+      dec(L);
+      dec(R);
+      throw;
+    }
     if (Hit)
       return join2(L, R);
     return join(L, std::move(X.E), R);
@@ -1048,8 +1120,8 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
         // Stream the block through the cursor pair: each kept entry is
         // decoded once on its way out, nothing is materialized for the
         // dropped ones (|result| <= |T| <= 2B always fits one leaf).
-        leaf_writer W(N);
         leaf_reader C(T);
+        leaf_writer W(N);
         while (!C.done()) {
           if (P(C.peek()))
             W.push(C.take());
@@ -1058,8 +1130,9 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
         }
         return W.finish();
       }
+      node_guard G(T);
       temp_buf Buf(N), Out(N);
-      flatten(T, Buf.data());
+      flatten(G.release(), Buf.data());
       Buf.set_count(N);
       size_t K = 0;
       for (size_t I = 0; I < N; ++I) {
@@ -1073,9 +1146,15 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     }
     exposed X = expose(T);
     node_t *L = nullptr, *R = nullptr;
-    par::par_do_if(
-        size(X.L) + size(X.R) >= par_gran(), [&] { L = filter(X.L, P); },
-        [&] { R = filter(X.R, P); });
+    try {
+      par::par_do_if(
+          size(X.L) + size(X.R) >= par_gran(), [&] { L = filter(X.L, P); },
+          [&] { R = filter(X.R, P); });
+    } catch (...) {
+      dec(L);
+      dec(R);
+      throw;
+    }
     if (P(X.E))
       return join(L, std::move(X.E), R);
     return join2(L, R);
@@ -1092,8 +1171,8 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
       if (flat_fastpath() && TO::flat_splice_wins()) {
         // Keys pass through untouched (still strictly increasing, as the
         // byte-coded write cursors require); only values are rewritten.
-        leaf_writer W(N);
         leaf_reader C(T);
+        leaf_writer W(N);
         while (!C.done()) {
           entry_t E = C.take();
           Entry::get_val(E) = f(E);
@@ -1101,8 +1180,9 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
         }
         return W.finish();
       }
+      node_guard G(T);
       temp_buf Buf(N);
-      flatten(T, Buf.data());
+      flatten(G.release(), Buf.data());
       Buf.set_count(N);
       for (size_t I = 0; I < N; ++I)
         Entry::get_val(Buf.data()[I]) = f(Buf.data()[I]);
@@ -1110,9 +1190,15 @@ struct map_ops : tree_ops<Entry, EncoderT, BlockSizeB> {
     }
     exposed X = expose(T);
     node_t *L = nullptr, *R = nullptr;
-    par::par_do_if(
-        size(X.L) + size(X.R) >= par_gran(), [&] { L = map_values(X.L, f); },
-        [&] { R = map_values(X.R, f); });
+    try {
+      par::par_do_if(
+          size(X.L) + size(X.R) >= par_gran(),
+          [&] { L = map_values(X.L, f); }, [&] { R = map_values(X.R, f); });
+    } catch (...) {
+      dec(L);
+      dec(R);
+      throw;
+    }
     Entry::get_val(X.E) = f(X.E);
     return node_join(L, std::move(X.E), R);
   }

@@ -175,10 +175,40 @@ struct node_layer {
   // Construction and destruction.
   //===--------------------------------------------------------------------===
 
+  /// RAII ownership of one node reference, for exception-safe composition:
+  /// decs the held node on scope exit unless release()d. Used on every path
+  /// that holds an owned node across a call that may throw bad_alloc, so an
+  /// injected allocation failure cannot leak the sibling.
+  class node_guard {
+  public:
+    explicit node_guard(node_t *T) : T(T) {}
+    node_guard(const node_guard &) = delete;
+    node_guard &operator=(const node_guard &) = delete;
+    ~node_guard() { dec(T); }
+    node_t *release() {
+      node_t *R = T;
+      T = nullptr;
+      return R;
+    }
+    node_t *get() const { return T; }
+
+  private:
+    node_t *T;
+  };
+
   /// Creates a regular node over owned children \p L and \p R. Does not
   /// enforce the blocked-leaves invariant; see tree_ops::node_join for that.
+  /// On allocation failure both children are released (throw ⇒ every owned
+  /// input released — the exception contract all consuming builders share).
   static node_t *make_regular(node_t *L, entry_t E, node_t *R) {
-    void *Mem = tree_alloc(sizeof(regular_t));
+    void *Mem;
+    try {
+      Mem = tree_alloc(sizeof(regular_t));
+    } catch (...) {
+      dec(L);
+      dec(R);
+      throw;
+    }
     regular_t *T = ::new (Mem) regular_t;
     T->Ref.store(1, std::memory_order_relaxed);
     T->Kind = RegularKind;
@@ -344,9 +374,19 @@ struct node_layer {
       return nullptr;
     size_t Mid = N / 2;
     node_t *L = nullptr, *R = nullptr;
-    par::par_do_if(
-        N >= par_gc_gran(), [&] { L = build_expanded(A, Mid); },
-        [&] { R = build_expanded(A + Mid + 1, N - Mid - 1); });
+    // Both branches always run (parDo's exception contract), so on a throw
+    // each half either produced a subtree (released here) or threw after
+    // releasing its own resources; unconsumed entries stay owned by the
+    // caller's buffer.
+    try {
+      par::par_do_if(
+          N >= par_gc_gran(), [&] { L = build_expanded(A, Mid); },
+          [&] { R = build_expanded(A + Mid + 1, N - Mid - 1); });
+    } catch (...) {
+      dec(L);
+      dec(R);
+      throw;
+    }
     return make_regular(L, std::move(A[Mid]), R);
   }
 
@@ -355,8 +395,9 @@ struct node_layer {
   static node_t *unfold(node_t *T) {
     assert(is_flat(T) && "unfold expects a flat node");
     size_t N = T->Size;
+    node_guard G(T); // Covers a throw from the buffer allocation.
     temp_buf Buf(N);
-    flatten(T, Buf.data());
+    flatten(G.release(), Buf.data());
     Buf.set_count(N);
     node_t *Out = build_expanded(Buf.data(), N);
     return Out;

@@ -64,6 +64,7 @@
 #include <vector>
 
 #include "src/parallel/scheduler.h"
+#include "src/util/failpoint.h"
 
 namespace cpam {
 
@@ -402,6 +403,12 @@ private:
       par::counter_bump(St.RefillBatches);
       return;
     }
+    // The "pool.refill" failpoint models heap exhaustion at the slab-carve
+    // boundary: the global pool is dry and fresh memory is refused. Thrown
+    // before any state changes, so the local cache stays consistent and the
+    // next allocation retries cleanly.
+    if (CPAM_FAILPOINT_ACTIVE("pool.refill"))
+      throw std::bad_alloc();
     par::counter_bump(St.SlabCarves);
     // Carve a new slab, consumed by bump allocation (any bump tail left
     // over from a previous slab of this class is abandoned to that slab —

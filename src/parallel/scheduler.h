@@ -41,11 +41,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/parallel/chase_lev.h"
+#include "src/util/failpoint.h"
 
 /// Build-time default for the lock-free scheduler (see file header). Both
 /// deque implementations are always compiled; this only picks which one a
@@ -73,9 +75,40 @@ inline void counter_bump(std::atomic<uint64_t> &C) {
 struct Task {
   void (*Run)(void *Env) = nullptr;
   void *Env = nullptr;
+  /// An exception the task body threw on a helping/stealing thread,
+  /// captured by runTask (written before the Done release-store, so the
+  /// joiner's acquire load orders the read) and rethrown by parDo on the
+  /// forking thread.
+  std::exception_ptr Exc;
   /// Set with release semantics when the task body has finished.
   std::atomic<bool> Done{false};
 };
+
+namespace detail {
+/// Runs both thunks sequentially with fork-join exception semantics: f2
+/// runs even if f1 throws (so a branch that owns resources always gets to
+/// run or release them), and the first exception wins. Costs nothing on the
+/// no-throw path (zero-cost EH).
+template <class F1, class F2> void runBothSeq(F1 &&f1, F2 &&f2) {
+  std::exception_ptr E1;
+  try {
+    f1();
+  } catch (...) {
+    E1 = std::current_exception();
+  }
+  if (!E1) {
+    f2();
+    return;
+  }
+  try {
+    f2();
+  } catch (...) {
+    // f1's exception wins; f2's is swallowed (same policy as the forked
+    // path below).
+  }
+  std::rethrow_exception(E1);
+}
+} // namespace detail
 
 /// Aggregated scheduler telemetry (see par::scheduler_stats()). Counters
 /// are summed over per-worker relaxed counters, so a snapshot taken while
@@ -139,28 +172,53 @@ public:
   }
 
   /// Runs \p f1 and \p f2 to completion, potentially in parallel.
+  ///
+  /// Exception contract: both branches always run to completion (a throw in
+  /// one never skips the other — each branch may own resources it must
+  /// consume or release), and the first exception — f1's if both throw — is
+  /// rethrown on the forking thread after the join. An exception thrown by
+  /// a stolen f2 on a helping thread is captured in the stack Task and
+  /// rethrown here.
   template <class F1, class F2> void parDo(F1 &&f1, F2 &&f2) {
     int Id = workerId();
-    if (Id < 0 || NumWorkers == 1 ||
+    if (CPAM_FAILPOINT_ACTIVE("sched.fork") || Id < 0 || NumWorkers == 1 ||
         sequentialMode().load(std::memory_order_relaxed)) {
       // Not a pool thread (a user-spawned std::thread), or a single-worker
       // pool — where no thief exists, so every fork would be reclaimed
       // inline anyway: degrade to sequential execution, which is always
-      // correct and skips the deque entirely.
-      f1();
-      f2();
+      // correct and skips the deque entirely. The "sched.fork" failpoint
+      // (fork refusal under injected scheduler pressure) lands here too; it
+      // is evaluated first so every fork attempt counts a hit even where
+      // the pool shape alone would already force inline execution.
+      detail::runBothSeq(f1, f2);
       return;
     }
     Task T;
     T.Env = &f2;
     T.Run = [](void *Env) { (*static_cast<F2 *>(Env))(); };
     push(Id, &T);
-    f1();
+    std::exception_ptr E1;
+    try {
+      f1();
+    } catch (...) {
+      E1 = std::current_exception();
+    }
     if (tryReclaim(Id, &T)) {
-      f2();
-      return;
+      if (!E1) {
+        f2();
+        return;
+      }
+      try {
+        f2();
+      } catch (...) {
+      }
+      std::rethrow_exception(E1);
     }
     waitHelping(Id, &T);
+    if (E1)
+      std::rethrow_exception(E1);
+    if (T.Exc)
+      std::rethrow_exception(T.Exc);
   }
 
 private:
@@ -226,7 +284,14 @@ private:
   void unparkOne(int Id);
   void workerLoop(int Id);
   void runTask(Task *T) {
-    T->Run(T->Env);
+    // A task body that throws (injected allocation failure inside a stolen
+    // branch) must not unwind into the worker loop — capture and hand the
+    // exception to the joiner, which rethrows on the forking thread.
+    try {
+      T->Run(T->Env);
+    } catch (...) {
+      T->Exc = std::current_exception();
+    }
     T->Done.store(true, std::memory_order_release);
     signalJoiners();
   }
@@ -291,15 +356,16 @@ template <class F1, class F2> void par_do(F1 &&f1, F2 &&f2) {
   Scheduler::get().parDo(std::forward<F1>(f1), std::forward<F2>(f2));
 }
 
-/// Conditional fork-join: parallel only if \p DoParallel.
+/// Conditional fork-join: parallel only if \p DoParallel. Both arms share
+/// parDo's exception contract (both branches always run; first exception
+/// wins).
 template <class F1, class F2>
 void par_do_if(bool DoParallel, F1 &&f1, F2 &&f2) {
   if (DoParallel) {
     par_do(std::forward<F1>(f1), std::forward<F2>(f2));
     return;
   }
-  f1();
-  f2();
+  detail::runBothSeq(f1, f2);
 }
 
 namespace detail {

@@ -50,6 +50,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "src/obs/metrics.h"
 #include "src/parallel/random.h"
 #include "src/parallel/scheduler.h"
 
@@ -85,11 +86,22 @@ public:
         uint64_t E = Global.load(std::memory_order_seq_cst);
         if (Slots[S].E.compare_exchange_strong(Idle, E,
                                                std::memory_order_seq_cst)) {
+          // Wall-clock stamp for the stall watchdog. Relaxed: it feeds
+          // telemetry only, and the kIdle filter in stalled_readers()
+          // screens out released slots with stale stamps. Compiled out
+          // with the rest of the metrics layer (CPAM_METRICS=0), where
+          // stalled_readers() then reports 0 via the P != 0 filter.
+          if (CPAM_METRICS)
+            Slots[S].PinNs.store(obs::now_ns(), std::memory_order_relaxed);
           Pins.fetch_add(1, std::memory_order_relaxed);
           return S;
         }
         Conflicts.fetch_add(1, std::memory_order_relaxed);
       }
+      // All 512 slots busy: pathological oversubscription. Count the full
+      // failed sweep (the documented "never fails, only waits" fallback)
+      // and retry after yielding.
+      Exhausted.fetch_add(1, std::memory_order_relaxed);
       std::this_thread::yield();
     }
   }
@@ -148,18 +160,42 @@ public:
     return false;
   }
 
+  /// Stall watchdog: number of slots currently pinned for longer than
+  /// \p AgeNs nanoseconds. A healthy pin lasts nanoseconds (pointer load +
+  /// root-copy), so anything visible here is a reader stuck inside the
+  /// guarded window — a wedged thread, a debugger stop, or a misuse that
+  /// holds a guard across real work — and it blocks reclamation for every
+  /// version retired since. Racy by nature (slots may unpin mid-scan);
+  /// use as telemetry, not as a synchronization primitive.
+  size_t stalled_readers(uint64_t AgeNs) const {
+    uint64_t Now = obs::now_ns();
+    size_t N = 0;
+    for (size_t S = 0; S < kMaxReaders; ++S) {
+      if (Slots[S].E.load(std::memory_order_seq_cst) == kIdle)
+        continue;
+      uint64_t P = Slots[S].PinNs.load(std::memory_order_relaxed);
+      if (P != 0 && Now > P && Now - P > AgeNs)
+        ++N;
+    }
+    return N;
+  }
+
   struct stats_t {
     uint64_t Pins = 0;          ///< Successful slot claims.
     uint64_t SlotConflicts = 0; ///< CAS attempts that found a busy slot.
+    uint64_t SlotExhausted = 0; ///< Full-table sweeps that found no slot.
   };
   stats_t stats() const {
     return {Pins.load(std::memory_order_relaxed),
-            Conflicts.load(std::memory_order_relaxed)};
+            Conflicts.load(std::memory_order_relaxed),
+            Exhausted.load(std::memory_order_relaxed)};
   }
 
 private:
   struct alignas(64) slot_t {
     std::atomic<uint64_t> E{kIdle};
+    /// obs::now_ns() at the moment the slot was claimed (watchdog input).
+    std::atomic<uint64_t> PinNs{0};
   };
 
   std::atomic<uint64_t> Global{1};
@@ -169,6 +205,7 @@ private:
   // only.
   std::atomic<uint64_t> Pins{0};
   std::atomic<uint64_t> Conflicts{0};
+  std::atomic<uint64_t> Exhausted{0};
 };
 
 } // namespace serving

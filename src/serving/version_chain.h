@@ -48,8 +48,10 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -60,6 +62,7 @@
 #include "src/obs/trace.h"
 #include "src/serving/epoch.h"
 #include "src/util/datagen.h"
+#include "src/util/failpoint.h"
 
 namespace cpam {
 namespace serving {
@@ -76,6 +79,12 @@ struct serving_metrics_t {
   obs::gauge &QueueDepth;
   obs::counter &Published;
   obs::counter &Reclaimed;
+  /// High-water mark of retired-but-unreclaimed versions (raw cell:
+  /// CAS-maxed by the writer, read by export_json / the watchdog tests).
+  std::atomic<uint64_t> &RetiredBacklogHw;
+  /// Most recent stalled-reader count observed by a pipeline writer loop
+  /// (raw cell, overwritten once per batch).
+  std::atomic<uint64_t> &StalledReaders;
 };
 
 inline serving_metrics_t &serving_metrics() {
@@ -86,7 +95,9 @@ inline serving_metrics_t &serving_metrics() {
       obs::registry::get().get_histogram("serving.reclaim_ns"),
       obs::registry::get().get_gauge("serving.queue_depth"),
       obs::registry::get().get_counter("serving.published"),
-      obs::registry::get().get_counter("serving.reclaimed")};
+      obs::registry::get().get_counter("serving.reclaimed"),
+      obs::registry::get().raw_counter("serving.retired_backlog_hw"),
+      obs::registry::get().raw_counter("serving.stalled_readers")};
   return M;
 }
 
@@ -121,6 +132,7 @@ public:
     const bool Timed = obs::sampled<8>();
     const uint64_t T0 = Timed ? obs::now_ns() : 0;
     epoch_manager::guard G(Epochs);
+    slowReaderFailpoint();
     version_node *V = Current.load(std::memory_order_seq_cst);
     T Snap = V->Value;
     if (Timed)
@@ -133,6 +145,7 @@ public:
     const bool Timed = obs::sampled<8>();
     const uint64_t T0 = Timed ? obs::now_ns() : 0;
     epoch_manager::guard G(Epochs);
+    slowReaderFailpoint();
     version_node *V = Current.load(std::memory_order_seq_cst);
     SeqOut = V->Seq;
     T Snap = V->Value;
@@ -164,6 +177,17 @@ public:
     Old->NextRetired = RetiredHead;
     RetiredHead = Old;
     ++NumRetired;
+    if (NumRetired > RetiredHw) {
+      RetiredHw = NumRetired;
+      // CAS-max into the process-wide cell: stalled readers show up as a
+      // climbing backlog high-water long before memory pressure does.
+      auto &HW = serving_metrics().RetiredBacklogHw;
+      uint64_t Cur = HW.load(std::memory_order_relaxed);
+      while (Cur < RetiredHw &&
+             !HW.compare_exchange_weak(Cur, RetiredHw,
+                                       std::memory_order_relaxed)) {
+      }
+    }
     if (CPAM_METRICS) {
       serving_metrics().PublishNs.record(obs::now_ns() - T0);
       serving_metrics().Published.inc();
@@ -184,6 +208,10 @@ public:
 
   /// Retired-but-not-yet-freed version count (writer thread only).
   size_t retired_count() const { return NumRetired; }
+  /// High-water mark of retired_count() over the chain's lifetime (writer
+  /// only). A mark far above steady-state means readers stalled long
+  /// enough to dam up reclamation.
+  size_t retired_high_water() const { return RetiredHw; }
   /// Total versions reclaimed over the chain's lifetime (writer only).
   uint64_t reclaimed_total() const { return NumReclaimed; }
 
@@ -197,6 +225,15 @@ private:
     uint64_t RetireEpoch = 0;
     version_node *NextRetired = nullptr;
   };
+
+  /// Chaos hook: stretches the reader's pinned window so the stall
+  /// watchdog and retire-backlog paths can be exercised deterministically.
+  /// The spec's arg clause sets the dwell in microseconds (default 1ms).
+  static void slowReaderFailpoint() {
+    if (CPAM_FAILPOINT_ACTIVE("serving.slow_reader"))
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(fail::arg("serving.slow_reader", 1000)));
+  }
 
   size_t reclaimLocked() {
     if (!RetiredHead)
@@ -230,8 +267,24 @@ private:
   // Writer-private state (guarded by the single-writer contract).
   version_node *RetiredHead = nullptr;
   size_t NumRetired = 0;
+  size_t RetiredHw = 0;
   uint64_t NumReclaimed = 0;
   std::atomic<bool> WriterActive{false};
+};
+
+/// What a producer-facing submit does when the bounded ingest queue is
+/// full. Counted per-policy in ingest_pipeline::stats_t and in the shared
+/// queue metrics, so overload is observable rather than silent.
+enum class overload_policy {
+  /// Block the submitter until space frees (default; lossless
+  /// backpressure).
+  Block,
+  /// Refuse the new update (submit returns false; Rejected counts it).
+  RejectNewest,
+  /// Drop the oldest queued update to admit the new one (Shed counts the
+  /// victim). Keeps producers wait-free at the cost of losing the oldest
+  /// not-yet-applied data — the classic head-drop queue.
+  ShedOldest,
 };
 
 /// Single-writer batch-ingest pipeline in front of a version_chain<T>:
@@ -243,12 +296,19 @@ public:
   using apply_fn = std::function<T(const T &, std::vector<U>)>;
 
   struct options {
-    /// Bounded-queue capacity: submit() blocks (applying backpressure)
-    /// while this many updates are pending.
+    /// Bounded-queue capacity: the overload policy engages while this many
+    /// updates are pending.
     size_t QueueCapacity = size_t(1) << 16;
     /// Max updates applied per published version. Small windows minimize
     /// snapshot staleness; large windows amortize structural work.
     size_t BatchWindow = size_t(1) << 12;
+    /// What submit() does when the queue is full (see overload_policy).
+    overload_policy Policy = overload_policy::Block;
+    /// Pin age beyond which a reader counts as stalled (watchdog
+    /// threshold; the writer loop samples stalled_readers(StallAgeNs)
+    /// once per batch). Default 100ms — five orders of magnitude past a
+    /// healthy pin.
+    uint64_t StallAgeNs = 100'000'000;
   };
 
   ingest_pipeline(version_chain<T> &Chain, apply_fn Apply, options O = {})
@@ -262,13 +322,73 @@ public:
 
   ~ingest_pipeline() { stop(); }
 
-  /// Enqueues one update; blocks while the queue is full. Returns false
-  /// (dropping the update) once the pipeline is stopping.
+  /// Enqueues one update, resolving a full queue per Opts.Policy: Block
+  /// waits for space (lossless backpressure), RejectNewest returns false,
+  /// ShedOldest drops the oldest queued update and admits this one.
+  /// Returns false (dropping the update) once the pipeline is stopping —
+  /// including when stop() races in while a Block submitter is waiting,
+  /// which wakes every blocked submitter rather than stranding them.
+  /// The "serving.queue_full" failpoint forces the reject path for chaos
+  /// runs regardless of actual queue depth.
   bool submit(U Item) {
+    if (CPAM_FAILPOINT_ACTIVE("serving.queue_full")) {
+      std::lock_guard<std::mutex> L(M);
+      ++NumRejected;
+      return false;
+    }
     std::unique_lock<std::mutex> L(M);
-    while (Pending.size() >= Opts.QueueCapacity && !Stopping) {
+    if (Stopping)
+      return false;
+    bool DidShed = false;
+    if (Pending.size() >= Opts.QueueCapacity) {
+      switch (Opts.Policy) {
+      case overload_policy::Block:
+        ++FullWaits;
+        NotFull.wait(L, [&] {
+          return Pending.size() < Opts.QueueCapacity || Stopping;
+        });
+        if (Stopping)
+          return false;
+        break;
+      case overload_policy::RejectNewest:
+        ++NumRejected;
+        return false;
+      case overload_policy::ShedOldest:
+        Pending.pop_front();
+        ++NumShed;
+        DidShed = true;
+        break;
+      }
+    }
+    Pending.push_back(std::move(Item));
+    ++NumSubmitted;
+    L.unlock();
+    if (!DidShed) // Shedding swapped one queued item for another: net 0.
+      serving_metrics().QueueDepth.add(1);
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Deadline-bounded submit: waits for queue space at most \p Timeout,
+  /// then gives up (counted in DeadlineTimeouts). Ignores the overload
+  /// policy — the deadline *is* the policy. Returns false on timeout or
+  /// shutdown.
+  template <class Rep, class Period>
+  bool submit_for(U Item, std::chrono::duration<Rep, Period> Timeout) {
+    if (CPAM_FAILPOINT_ACTIVE("serving.queue_full")) {
+      std::lock_guard<std::mutex> L(M);
+      ++NumRejected;
+      return false;
+    }
+    std::unique_lock<std::mutex> L(M);
+    if (Pending.size() >= Opts.QueueCapacity && !Stopping) {
       ++FullWaits;
-      NotFull.wait(L);
+      if (!NotFull.wait_for(L, Timeout, [&] {
+            return Pending.size() < Opts.QueueCapacity || Stopping;
+          })) {
+        ++NumDeadlineTimeouts;
+        return false;
+      }
     }
     if (Stopping)
       return false;
@@ -282,6 +402,11 @@ public:
 
   /// Non-blocking submit; false if the queue is full or stopping.
   bool try_submit(U Item) {
+    if (CPAM_FAILPOINT_ACTIVE("serving.queue_full")) {
+      std::lock_guard<std::mutex> L(M);
+      ++NumRejected;
+      return false;
+    }
     std::unique_lock<std::mutex> L(M);
     if (Stopping || Pending.size() >= Opts.QueueCapacity)
       return false;
@@ -298,6 +423,16 @@ public:
   void flush() {
     std::unique_lock<std::mutex> L(M);
     Drained.wait(L, [&] { return (Pending.empty() && !Applying) || Stopping; });
+  }
+
+  /// Deadline-bounded flush: true if the queue drained (or the pipeline
+  /// stopped) within \p Timeout, false if work was still in flight.
+  template <class Rep, class Period>
+  bool flush_for(std::chrono::duration<Rep, Period> Timeout) {
+    std::unique_lock<std::mutex> L(M);
+    return Drained.wait_for(L, Timeout, [&] {
+      return (Pending.empty() && !Applying) || Stopping;
+    });
   }
 
   /// Drains the queue, publishes the remainder, and joins the writer
@@ -320,11 +455,16 @@ public:
     uint64_t Submitted = 0; ///< Updates accepted into the queue.
     uint64_t Applied = 0;   ///< Updates applied and published.
     uint64_t Batches = 0;   ///< Versions published by the writer loop.
-    uint64_t FullWaits = 0; ///< Times submit() blocked on a full queue.
+    uint64_t FullWaits = 0; ///< Times a submitter waited on a full queue.
+    uint64_t Rejected = 0;  ///< Updates refused (RejectNewest / failpoint).
+    uint64_t Shed = 0;      ///< Oldest-queued updates dropped (ShedOldest).
+    uint64_t DeadlineTimeouts = 0; ///< submit_for() deadline expirations.
   };
   stats_t stats() const {
     std::lock_guard<std::mutex> L(M);
-    return {NumSubmitted, NumApplied, NumBatches, FullWaits};
+    return {NumSubmitted, NumApplied,  NumBatches,
+            FullWaits,    NumRejected, NumShed,
+            NumDeadlineTimeouts};
   }
 
 private:
@@ -350,9 +490,22 @@ private:
       size_t Applied = Batch.size();
       {
         obs::trace::span S("apply_batch", "serve");
+        // Chaos hook: a glacial apply (arg = dwell in ms, default 10)
+        // backs the queue up against its capacity so the overload
+        // policies and deadline paths can be driven deterministically.
+        if (CPAM_FAILPOINT_ACTIVE("serving.slow_apply"))
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(fail::arg("serving.slow_apply", 10)));
         Tip = Apply(Tip, std::move(Batch));
         Chain.publish(Tip);
       }
+      // Watchdog sweep, once per batch off the reader path: publish the
+      // current stalled-reader count so export_json / bench_serving can
+      // surface wedged pins without scanning the slot table themselves.
+      if (CPAM_METRICS)
+        serving_metrics().StalledReaders.store(
+            Chain.epochs().stalled_readers(Opts.StallAgeNs),
+            std::memory_order_relaxed);
       Batch.clear();
       {
         std::lock_guard<std::mutex> L(M);
@@ -372,10 +525,12 @@ private:
 
   mutable std::mutex M;
   std::condition_variable NotEmpty, NotFull, Drained;
-  std::vector<U> Pending;
+  // Deque, not vector: ShedOldest pops the front in O(1).
+  std::deque<U> Pending;
   bool Stopping = false;
   bool Applying = false;
   uint64_t NumSubmitted = 0, NumApplied = 0, NumBatches = 0, FullWaits = 0;
+  uint64_t NumRejected = 0, NumShed = 0, NumDeadlineTimeouts = 0;
 
   std::thread Writer;
 };
@@ -415,6 +570,8 @@ public:
 
   version_chain<G> &chain() { return Chain; }
   const version_chain<G> &chain() const { return Chain; }
+  /// Direct pipeline access (deadline submits, overload counters).
+  pipeline_t &pipeline() { return Pipe; }
   typename pipeline_t::stats_t ingest_stats() const { return Pipe.stats(); }
 
 private:

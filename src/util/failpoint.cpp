@@ -1,0 +1,293 @@
+//===- failpoint.cpp - Deterministic fault-injection registry -------------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/util/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+using namespace cpam;
+using namespace cpam::fail;
+
+std::atomic<int> cpam::fail::detail::ArmedCount{0};
+
+namespace {
+
+/// The registry: leaked singleton (sites cache point references forever;
+/// exit-time exporters may still walk it). Map storage gives points stable
+/// addresses.
+struct Registry {
+  std::mutex M;
+  std::map<std::string, std::unique_ptr<point>> Points;
+
+  Registry() {
+    // Adopt into the obs exporter so armed specs and hit/fire counts show
+    // up in every cpam-metrics-v1 dump. The callbacks take only the
+    // failpoint mutex (never the obs lock), so the obs-lock -> fail-lock
+    // order is acyclic.
+    obs::registry::get().register_source(
+        "failpoints", [this] { return exportJson(); },
+        [this] { resetCounts(); });
+  }
+
+  point &get(const std::string &Name) {
+    std::lock_guard<std::mutex> L(M);
+    auto &P = Points[Name];
+    if (!P)
+      P = std::make_unique<point>(Name);
+    return *P;
+  }
+
+  point *find(const std::string &Name) {
+    std::lock_guard<std::mutex> L(M);
+    auto It = Points.find(Name);
+    return It == Points.end() ? nullptr : It->second.get();
+  }
+
+  std::string exportJson() {
+    std::lock_guard<std::mutex> L(M);
+    std::string Out = "{";
+    bool First = true;
+    char Buf[160];
+    for (auto &[Name, P] : Points) {
+      const char *Mode = "off";
+      switch (P->Mode.load(std::memory_order_relaxed)) {
+      case trigger::Off:
+        break;
+      case trigger::Always:
+        Mode = "always";
+        break;
+      case trigger::Nth:
+        Mode = "nth";
+        break;
+      case trigger::EveryNth:
+        Mode = "every";
+        break;
+      case trigger::Prob:
+        Mode = "p";
+        break;
+      }
+      snprintf(Buf, sizeof(Buf),
+               "%s\n      \"%s\": {\"mode\": \"%s\", \"n\": %llu, "
+               "\"hits\": %llu, \"fires\": %llu}",
+               First ? "" : ",", Name.c_str(), Mode,
+               static_cast<unsigned long long>(
+                   P->Param.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   P->Hits.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   P->Fires.load(std::memory_order_relaxed)));
+      Out += Buf;
+      First = false;
+    }
+    Out += First ? "}" : "\n    }";
+    return Out;
+  }
+
+  void resetCounts() {
+    std::lock_guard<std::mutex> L(M);
+    for (auto &[Name, P] : Points) {
+      P->Hits.store(0, std::memory_order_relaxed);
+      P->Fires.store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+Registry &registry() {
+  static Registry *R = new Registry;
+  return *R;
+}
+
+/// Applies one parsed spec to \p P, maintaining the armed count.
+void apply(point &P, trigger Mode, uint64_t Param, uint64_t Seed,
+           uint64_t Arg) {
+  bool WasArmed = P.Mode.load(std::memory_order_relaxed) != trigger::Off;
+  bool IsArmed = Mode != trigger::Off;
+  P.Param.store(Param, std::memory_order_relaxed);
+  P.Seed.store(Seed, std::memory_order_relaxed);
+  P.Arg.store(Arg, std::memory_order_relaxed);
+  // Mode last, with release: a hot-path should_fire that sees the new mode
+  // sees the new parameters too.
+  P.Mode.store(Mode, std::memory_order_release);
+  if (IsArmed && !WasArmed)
+    detail::ArmedCount.fetch_add(1, std::memory_order_relaxed);
+  else if (!IsArmed && WasArmed)
+    detail::ArmedCount.fetch_sub(1, std::memory_order_relaxed);
+}
+
+/// Parses "clause(/clause)*". Returns false (leaving outputs untouched) on
+/// any malformed clause.
+bool parseSpec(const std::string &Spec, trigger &Mode, uint64_t &Param,
+               uint64_t &Seed, uint64_t &Arg) {
+  trigger M = trigger::Off;
+  uint64_t N = 0, S = 0, A = 0;
+  bool HaveMode = false;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t End = Spec.find('/', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Clause = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Clause.empty())
+      return false;
+    auto Num = [](const std::string &V, uint64_t &Out) {
+      if (V.empty())
+        return false;
+      char *EndP = nullptr;
+      Out = std::strtoull(V.c_str(), &EndP, 10);
+      return EndP && *EndP == '\0';
+    };
+    size_t Eq = Clause.find('=');
+    std::string Key = Clause.substr(0, Eq);
+    std::string Val = Eq == std::string::npos ? "" : Clause.substr(Eq + 1);
+    if (Key == "always" && Eq == std::string::npos) {
+      M = trigger::Always;
+      HaveMode = true;
+    } else if (Key == "off" && Eq == std::string::npos) {
+      M = trigger::Off;
+      HaveMode = true;
+    } else if (Key == "nth") {
+      if (!Num(Val, N) || N == 0)
+        return false;
+      M = trigger::Nth;
+      HaveMode = true;
+    } else if (Key == "every") {
+      if (!Num(Val, N) || N == 0)
+        return false;
+      M = trigger::EveryNth;
+      HaveMode = true;
+    } else if (Key == "p") {
+      if (!Num(Val, N) || N == 0)
+        return false;
+      M = trigger::Prob;
+      HaveMode = true;
+    } else if (Key == "seed") {
+      if (!Num(Val, S))
+        return false;
+    } else if (Key == "arg") {
+      if (!Num(Val, A))
+        return false;
+    } else {
+      return false;
+    }
+    if (End == Spec.size())
+      break;
+  }
+  if (!HaveMode)
+    return false;
+  Mode = M;
+  Param = N;
+  Seed = S;
+  Arg = A;
+  return true;
+}
+
+/// Parses CPAM_FAILPOINTS ("name:spec,name:spec") once, at first registry
+/// use. Malformed entries are skipped (loudly, to stderr) rather than
+/// aborting the process.
+void configureFromEnv() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    const char *Env = std::getenv("CPAM_FAILPOINTS");
+    if (!Env || !*Env)
+      return;
+    std::string All(Env);
+    size_t Pos = 0;
+    while (Pos <= All.size()) {
+      size_t End = All.find(',', Pos);
+      if (End == std::string::npos)
+        End = All.size();
+      std::string Entry = All.substr(Pos, End - Pos);
+      Pos = End + 1;
+      size_t Colon = Entry.find(':');
+      bool Ok = false;
+      if (Colon != std::string::npos && Colon > 0) {
+        trigger Mode;
+        uint64_t Param, Seed, Arg;
+        if (parseSpec(Entry.substr(Colon + 1), Mode, Param, Seed, Arg)) {
+          apply(registry().get(Entry.substr(0, Colon)), Mode, Param, Seed,
+                Arg);
+          Ok = true;
+        }
+      }
+      if (!Ok && !Entry.empty())
+        fprintf(stderr, "cpam: ignoring malformed CPAM_FAILPOINTS entry "
+                        "'%s'\n",
+                Entry.c_str());
+      if (End == All.size())
+        break;
+    }
+  });
+}
+
+} // namespace
+
+point &cpam::fail::detail::get(const char *Name) {
+  configureFromEnv();
+  return registry().get(Name);
+}
+
+bool cpam::fail::arm(const std::string &Name, const std::string &Spec) {
+  configureFromEnv();
+  trigger Mode;
+  uint64_t Param, Seed, Arg;
+  if (!parseSpec(Spec, Mode, Param, Seed, Arg))
+    return false;
+  apply(registry().get(Name), Mode, Param, Seed, Arg);
+  return true;
+}
+
+void cpam::fail::disarm(const std::string &Name) {
+  if (point *P = registry().find(Name))
+    apply(*P, trigger::Off, 0, 0, 0);
+}
+
+void cpam::fail::disarm_all() {
+  // Collect first: apply() only touches atomics, but keeping the lock span
+  // trivial avoids any future lock-order questions.
+  std::vector<point *> Ps;
+  {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> L(R.M);
+    for (auto &[Name, P] : R.Points)
+      Ps.push_back(P.get());
+  }
+  for (point *P : Ps)
+    apply(*P, trigger::Off, 0, 0, 0);
+}
+
+void cpam::fail::reset_counts() { registry().resetCounts(); }
+
+uint64_t cpam::fail::hits(const std::string &Name) {
+  point *P = registry().find(Name);
+  return P ? P->Hits.load(std::memory_order_relaxed) : 0;
+}
+
+uint64_t cpam::fail::fires(const std::string &Name) {
+  point *P = registry().find(Name);
+  return P ? P->Fires.load(std::memory_order_relaxed) : 0;
+}
+
+uint64_t cpam::fail::arg(const std::string &Name, uint64_t Default) {
+  point *P = registry().find(Name);
+  if (!P || P->Mode.load(std::memory_order_acquire) == trigger::Off)
+    return Default;
+  return P->Arg.load(std::memory_order_relaxed);
+}
+
+cpam::fail::scoped_arm::~scoped_arm() {
+  if (point *P = registry().find(Name)) {
+    apply(*P, trigger::Off, 0, 0, 0);
+    P->Hits.store(0, std::memory_order_relaxed);
+    P->Fires.store(0, std::memory_order_relaxed);
+  }
+}

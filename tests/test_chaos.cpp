@@ -1,0 +1,408 @@
+//===- test_chaos.cpp - Fault-injection framework and chaos episodes -------===//
+//
+// Part of the CPAM reproduction of PaC-trees (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The chaos suite: semantics of the deterministic failpoint registry
+/// (src/util/failpoint.h) and fault-injection episodes driving every armed
+/// failure path — allocation throws mid-merge (alloc.node, leaf.seal),
+/// fork refusal degrading to inline execution (sched.fork), and the
+/// serving failure paths (queue-full rejection, wedged applies, stalled
+/// readers tripping the watchdog). Episodes assert the exception contract
+/// end to end: a failed op leaves its operands untouched, leaks nothing
+/// (LeakCheckTest fixtures), and the structure still satisfies the
+/// Def. 4.1 invariants. Runs in the ASan `chaos` CI leg with latency
+/// failpoints armed process-wide via CPAM_FAILPOINTS, and in the TSan leg.
+///
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <chrono>
+#include <new>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "src/api/pam_set.h"
+#include "src/encoding/diff_encoder.h"
+#include "src/encoding/gamma_encoder.h"
+#include "src/serving/version_chain.h"
+#include "src/util/failpoint.h"
+#include "tests/test_common.h"
+
+using namespace cpam;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Failpoint registry semantics.
+//===----------------------------------------------------------------------===//
+
+TEST(Failpoint, DisarmedPointNeverFiresOrCounts) {
+  // Arm an unrelated point so the global armed-count fast path is open and
+  // the named lookup actually runs.
+  fail::scoped_arm Other("chaos.other", "always");
+  for (int I = 0; I < 8; ++I)
+    EXPECT_FALSE(CPAM_FAILPOINT_ACTIVE("chaos.disarmed"));
+  EXPECT_EQ(fail::hits("chaos.disarmed"), 0u)
+      << "an off point must not count hits";
+  EXPECT_EQ(fail::fires("chaos.disarmed"), 0u);
+}
+
+TEST(Failpoint, AlwaysFiresEveryHit) {
+  fail::scoped_arm Arm("chaos.always", "always");
+  for (int I = 0; I < 5; ++I)
+    EXPECT_TRUE(CPAM_FAILPOINT_ACTIVE("chaos.always"));
+  EXPECT_EQ(fail::hits("chaos.always"), 5u);
+  EXPECT_EQ(fail::fires("chaos.always"), 5u);
+}
+
+TEST(Failpoint, NthFiresExactlyOnce) {
+  fail::scoped_arm Arm("chaos.nth", "nth=3");
+  std::vector<bool> Fired;
+  for (int I = 0; I < 6; ++I)
+    Fired.push_back(CPAM_FAILPOINT_ACTIVE("chaos.nth"));
+  EXPECT_EQ(Fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(fail::fires("chaos.nth"), 1u);
+}
+
+TEST(Failpoint, EveryNthFiresPeriodically) {
+  fail::scoped_arm Arm("chaos.every", "every=2");
+  std::vector<bool> Fired;
+  for (int I = 0; I < 6; ++I)
+    Fired.push_back(CPAM_FAILPOINT_ACTIVE("chaos.every"));
+  EXPECT_EQ(Fired, (std::vector<bool>{false, true, false, true, false,
+                                      true}));
+  EXPECT_EQ(fail::fires("chaos.every"), 3u);
+}
+
+TEST(Failpoint, ProbStreamReplaysExactlyFromSeed) {
+  // The p= decision is a pure function of (seed, hit index): re-arming the
+  // same spec replays the identical fire pattern. scoped_arm zeroes the
+  // hit counter on exit, so both passes start from hit 1.
+  std::vector<bool> First, Second;
+  {
+    fail::scoped_arm Arm("chaos.prob", "p=4/seed=42");
+    for (int I = 0; I < 256; ++I)
+      First.push_back(CPAM_FAILPOINT_ACTIVE("chaos.prob"));
+  }
+  {
+    fail::scoped_arm Arm("chaos.prob", "p=4/seed=42");
+    for (int I = 0; I < 256; ++I)
+      Second.push_back(CPAM_FAILPOINT_ACTIVE("chaos.prob"));
+  }
+  EXPECT_EQ(First, Second) << "p= stream is not a pure function of the spec";
+  size_t Fires = 0;
+  for (bool B : First)
+    Fires += B;
+  // ~64 expected at 1-in-4; just pin that the stream is neither empty nor
+  // saturated.
+  EXPECT_GT(Fires, 16u);
+  EXPECT_LT(Fires, 128u);
+
+  // A different seed gives a different stream.
+  std::vector<bool> Reseeded;
+  {
+    fail::scoped_arm Arm("chaos.prob", "p=4/seed=43");
+    for (int I = 0; I < 256; ++I)
+      Reseeded.push_back(CPAM_FAILPOINT_ACTIVE("chaos.prob"));
+  }
+  EXPECT_NE(First, Reseeded);
+}
+
+TEST(Failpoint, ArgClauseCarriesPayload) {
+  EXPECT_EQ(fail::arg("chaos.arg", 7), 7u) << "disarmed point: default";
+  fail::scoped_arm Arm("chaos.arg", "always/arg=123");
+  EXPECT_EQ(fail::arg("chaos.arg", 7), 123u);
+}
+
+TEST(Failpoint, MalformedSpecsAreRejected) {
+  for (const char *Spec :
+       {"", "bogus", "nth=0", "nth=x", "every=0", "p=", "p=0", "seed=x",
+        "always=1", "arg=", "always/", "/always"})
+    EXPECT_FALSE(fail::arm("chaos.malformed", Spec)) << Spec;
+  // The point stayed off through all of that.
+  EXPECT_FALSE(CPAM_FAILPOINT_ACTIVE("chaos.malformed"));
+}
+
+TEST(Failpoint, ScopedArmDisarmsAndZeroesOnExit) {
+  {
+    fail::scoped_arm Arm("chaos.scoped", "always");
+    EXPECT_TRUE(CPAM_FAILPOINT_ACTIVE("chaos.scoped"));
+    EXPECT_EQ(fail::hits("chaos.scoped"), 1u);
+  }
+  EXPECT_FALSE(CPAM_FAILPOINT_ACTIVE("chaos.scoped"));
+  EXPECT_EQ(fail::hits("chaos.scoped"), 0u) << "counters survive the scope";
+  EXPECT_EQ(fail::fires("chaos.scoped"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Tree chaos: injected failures on the merge/splice hot paths.
+//===----------------------------------------------------------------------===//
+
+class ChaosLeakTest : public test::LeakCheckTest {};
+
+template <class SetT>
+void checkSet(const SetT &S, const std::set<uint64_t> &O, const char *What) {
+  ASSERT_EQ(S.check_invariants(), "") << What;
+  ASSERT_EQ(S.size(), O.size()) << What;
+  std::vector<uint64_t> Want(O.begin(), O.end());
+  ASSERT_EQ(S.to_vector(), Want) << What;
+}
+
+std::vector<uint64_t> randomKeys(Rng &R, size_t N, uint64_t Universe) {
+  std::vector<uint64_t> Keys(N);
+  for (auto &K : Keys)
+    K = R.next(Universe);
+  return Keys;
+}
+
+/// Pins a runtime size_t tuning knob for one scope, restoring on exit
+/// (including early returns from fatal test failures).
+struct SizeGuard {
+  size_t &Ref;
+  size_t Old;
+  SizeGuard(size_t &R, size_t V) : Ref(R), Old(R) { R = V; }
+  ~SizeGuard() { Ref = Old; }
+};
+
+/// Chunk-writer chaos: "leaf.seal" throws while a streamed multi-leaf
+/// result is mid-write. The failed op must abandon its staged chunks
+/// without leaking and leave the operand untouched; survivors must match
+/// the oracle. Typed over the diff- and gamma-compressed block layouts —
+/// the two byte-coded encoders that stream through seal (raw blocks stage
+/// entries and finish via from_array_move, so seal never runs for them).
+template <class SetT> void runLeafSealChaos(uint64_t Salt) {
+  test::FlagGuard G(SetT::ops::flat_fastpath());
+  SetT::ops::flat_fastpath() = true;
+  // At B=8 every leaf-pair merge is under the 128-entry streaming
+  // break-even and would take the array path; pin the break-even to zero
+  // so the chunk writer (the code under test) runs for every base case.
+  SizeGuard MG(SetT::ops::flat_stream_min_entries(), 0);
+  fail::scoped_arm Arm("leaf.seal", "every=50");
+  Rng R = test::seeded_rng(Salt);
+  constexpr uint64_t kUniverse = 200000;
+  SetT S;
+  std::set<uint64_t> O;
+  uint64_t Survived = 0, Died = 0;
+  for (int Step = 0; Step < 24; ++Step) {
+    // Sizes spread from a handful of seals (usually survives) to hundreds
+    // (usually dies): both outcomes occur in every run.
+    auto Keys = randomKeys(R, 50 + R.next(2000), kUniverse);
+    try {
+      if (Step % 2) {
+        SetT Next = SetT::map_union(S, SetT(Keys));
+        S = std::move(Next);
+      } else {
+        SetT Next = S.multi_insert(Keys);
+        S = std::move(Next);
+      }
+      O.insert(Keys.begin(), Keys.end());
+      ++Survived;
+      checkSet(S, O, "seal-chaos survivor");
+    } catch (const std::bad_alloc &) {
+      ++Died;
+      checkSet(S, O, "operand after mid-write seal failure");
+    }
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  EXPECT_GT(fail::fires("leaf.seal"), 0u)
+      << "chunked write path never hit the seal failpoint";
+  EXPECT_GT(Survived, 0u);
+  EXPECT_GT(Died, 0u);
+}
+
+TEST_F(ChaosLeakTest, LeafSealChaosDiffBlocks) {
+  runLeafSealChaos<pam_set<uint64_t, 8, diff_encoder>>(101);
+}
+
+TEST_F(ChaosLeakTest, LeafSealChaosGammaBlocks) {
+  runLeafSealChaos<pam_set<uint64_t, 8, gamma_encoder>>(103);
+}
+
+/// Fork refusal is not a failure: "sched.fork" firing makes parDo run both
+/// branches inline, which must be invisible in the result.
+TEST_F(ChaosLeakTest, ForkRefusalDegradesToInlineExecution) {
+  fail::scoped_arm Arm("sched.fork", "p=2/seed=9");
+  using SetT = pam_set<uint64_t, 128>;
+  Rng R = test::seeded_rng(7);
+  auto KA = randomKeys(R, 8000, 300000);
+  auto KB = randomKeys(R, 6000, 300000);
+  SetT A(KA), B(KB);
+  SetT U = SetT::map_union(A, B);
+  std::set<uint64_t> O(KA.begin(), KA.end());
+  O.insert(KB.begin(), KB.end());
+  checkSet(U, O, "union under fork refusal");
+  EXPECT_GT(fail::hits("sched.fork"), 0u)
+      << "parallel union never attempted a fork";
+  EXPECT_GT(fail::fires("sched.fork"), 0u);
+}
+
+/// Capstone: every tree-layer failpoint armed at once over a mixed op
+/// sequence. Any hole in the unwind paths shows up as an oracle mismatch,
+/// an invariant break, or a fixture-detected leak.
+TEST_F(ChaosLeakTest, CombinedChaosEpisode) {
+  fail::scoped_arm A1("alloc.node", "p=300/seed=71");
+  fail::scoped_arm A2("leaf.seal", "every=400");
+  fail::scoped_arm A3("sched.fork", "p=3/seed=72");
+  using SetT = pam_set<uint64_t, 8>;
+  test::FlagGuard G(SetT::ops::flat_fastpath());
+  SetT::ops::flat_fastpath() = true;
+  SizeGuard MG(SetT::ops::flat_stream_min_entries(), 0);
+  Rng R = test::seeded_rng(9);
+  constexpr uint64_t kUniverse = 100000;
+  SetT S;
+  std::set<uint64_t> O;
+  uint64_t Survived = 0, Died = 0;
+  for (int Step = 0; Step < 48; ++Step) {
+    auto Keys = randomKeys(R, R.next(1200), kUniverse);
+    try {
+      switch (Step % 4) {
+      case 0: {
+        SetT Next = SetT::map_union(S, SetT(Keys));
+        S = std::move(Next);
+        O.insert(Keys.begin(), Keys.end());
+        break;
+      }
+      case 1: {
+        SetT Next = S.multi_insert(Keys);
+        S = std::move(Next);
+        O.insert(Keys.begin(), Keys.end());
+        break;
+      }
+      case 2: {
+        SetT Next = SetT::map_difference(S, SetT(Keys));
+        S = std::move(Next);
+        for (uint64_t K : Keys)
+          O.erase(K);
+        break;
+      }
+      default: {
+        SetT Next = S.multi_delete(Keys);
+        S = std::move(Next);
+        for (uint64_t K : Keys)
+          O.erase(K);
+        break;
+      }
+      }
+      ++Survived;
+      checkSet(S, O, "combined-chaos survivor");
+    } catch (const std::bad_alloc &) {
+      ++Died;
+      checkSet(S, O, "operand after combined-chaos failure");
+    }
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  EXPECT_GT(Survived, 0u);
+  EXPECT_GT(Died, 0u);
+  EXPECT_GT(fail::fires("alloc.node") + fail::fires("leaf.seal"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Serving chaos: the hardened failure paths under injected faults.
+//===----------------------------------------------------------------------===//
+
+using u64_set = pam_set<uint64_t>;
+using u64_pipeline = serving::ingest_pipeline<u64_set, uint64_t>;
+
+u64_pipeline::apply_fn unionApply() {
+  return [](const u64_set &Cur, std::vector<uint64_t> Batch) {
+    return u64_set::map_union(Cur, u64_set(Batch));
+  };
+}
+
+/// "serving.queue_full" forces every submit flavor down its reject path
+/// regardless of real queue depth, and Rejected counts each one.
+TEST_F(ChaosLeakTest, QueueFullFailpointForcesRejection) {
+  {
+    serving::version_chain<u64_set> Chain(u64_set{});
+    u64_pipeline Pipe(Chain, unionApply());
+    {
+      fail::scoped_arm Arm("serving.queue_full", "always");
+      EXPECT_FALSE(Pipe.submit(1));
+      EXPECT_FALSE(Pipe.try_submit(2));
+      EXPECT_FALSE(Pipe.submit_for(3, std::chrono::milliseconds(50)));
+      auto St = Pipe.stats();
+      EXPECT_EQ(St.Rejected, 3u);
+      EXPECT_EQ(St.Submitted, 0u);
+    }
+    // Disarmed: the same calls go through.
+    EXPECT_TRUE(Pipe.submit(1));
+    Pipe.flush();
+    EXPECT_EQ(Chain.acquire().size(), 1u);
+    Pipe.stop();
+    Chain.reclaim();
+  }
+}
+
+/// "serving.slow_apply" wedges the writer; an open-loop producer then
+/// drives the queue into its overload policy, proving backpressure
+/// engages (and releases) under a glacial apply.
+TEST_F(ChaosLeakTest, SlowApplyEngagesBackpressure) {
+  {
+    fail::scoped_arm Arm("serving.slow_apply", "always/arg=50");
+    serving::version_chain<u64_set> Chain(u64_set{});
+    u64_pipeline::options O;
+    O.QueueCapacity = 2;
+    O.BatchWindow = 1;
+    O.Policy = serving::overload_policy::RejectNewest;
+    u64_pipeline Pipe(Chain, unionApply(), O);
+    // Far more submits than capacity while each apply dwells 50ms: the
+    // queue must fill and rejections must be counted.
+    uint64_t Accepted = 0, Refused = 0;
+    for (uint64_t I = 0; I < 64; ++I)
+      (Pipe.submit(I) ? Accepted : Refused) += 1;
+    auto St = Pipe.stats();
+    EXPECT_GT(Refused, 0u) << "queue never filled under a wedged writer";
+    EXPECT_EQ(St.Rejected, Refused);
+    EXPECT_EQ(St.Submitted, Accepted);
+    Pipe.flush();
+    // Only after the drain is the writer guaranteed to have run (on a
+    // one-core box it may not be scheduled until the submit loop ends).
+    EXPECT_GT(fail::fires("serving.slow_apply"), 0u);
+    EXPECT_EQ(Chain.acquire().size(), Accepted);
+    Pipe.stop();
+    Chain.reclaim();
+  }
+}
+
+/// "serving.slow_reader" stretches the pinned window so the stall watchdog
+/// sees a live stalled reader; the count drops back to zero once the
+/// reader finishes.
+TEST_F(ChaosLeakTest, SlowReaderTripsStallWatchdog) {
+  {
+    serving::version_chain<u64_set> Chain(
+        u64_set::from_sorted(std::vector<uint64_t>{0, 1, 2}));
+    fail::scoped_arm Arm("serving.slow_reader", "always/arg=200000");
+    std::atomic<bool> ReaderDone{false};
+    std::thread Reader([&] {
+      u64_set S = Chain.acquire(); // Dwells 200ms inside the pin.
+      EXPECT_EQ(S.size(), 3u);
+      ReaderDone.store(true, std::memory_order_release);
+    });
+    // Poll with a 1ms threshold until the dwelling pin trips the watchdog.
+    bool Tripped = false;
+    while (!ReaderDone.load(std::memory_order_acquire)) {
+      if (Chain.epochs().stalled_readers(1'000'000) >= 1) {
+        Tripped = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    Reader.join();
+    EXPECT_TRUE(Tripped) << "a 200ms pin never tripped a 1ms threshold";
+    EXPECT_EQ(Chain.epochs().stalled_readers(1'000'000), 0u)
+        << "watchdog still reports a stall after the reader unpinned";
+    EXPECT_GE(fail::fires("serving.slow_reader"), 1u);
+  }
+}
+
+} // namespace

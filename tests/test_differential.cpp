@@ -25,6 +25,7 @@
 //===----------------------------------------------------------------------===//
 
 #include <map>
+#include <new>
 #include <set>
 #include <vector>
 
@@ -34,6 +35,7 @@
 #include "src/api/pam_set.h"
 #include "src/encoding/diff_encoder.h"
 #include "src/encoding/gamma_encoder.h"
+#include "src/util/failpoint.h"
 #include "tests/test_common.h"
 
 using namespace cpam;
@@ -218,6 +220,115 @@ TYPED_TEST(DifferentialMapTest, RandomOpsMatchStdMapBothFastPathSettings) {
 }
 
 //===----------------------------------------------------------------------===//
+// Allocation-chaos episodes (map): every op may die mid-flight.
+//===----------------------------------------------------------------------===//
+
+/// Random op sequence with the "alloc.node" failpoint armed at 1-in-N per
+/// node allocation: each step either survives (and must then agree with
+/// the oracle exactly) or throws bad_alloc (and must then leave the
+/// operand untouched — strong guarantee on the functional API — and leak
+/// nothing, which the enclosing LeakCheckTest fixture verifies). Only
+/// functional ops are used: *_inplace documents the weaker
+/// collection-empties-on-throw contract.
+template <class MapT> void runMapChaosEpisode(Rng R, uint64_t Salt) {
+  fail::scoped_arm Arm("alloc.node",
+                       "p=200/seed=" + std::to_string(Salt));
+  auto Plus = std::plus<uint64_t>();
+  MapT M;
+  Oracle O;
+  uint64_t Survived = 0, Died = 0;
+  for (int Step = 0; Step < kSteps; ++Step) {
+    try {
+      switch (R.next(6)) {
+      case 0: { // Point insert.
+        uint64_t K = R.next(kUniverse), V = R.next(1u << 16);
+        MapT Next = M.insert(typename MapT::entry_t(K, V));
+        M = std::move(Next);
+        O[K] = V; // Functional insert overwrites (take_right).
+        break;
+      }
+      case 1: { // Point remove.
+        uint64_t K = R.next(kUniverse);
+        MapT Next = M.remove(K);
+        M = std::move(Next);
+        O.erase(K);
+        break;
+      }
+      case 2: { // Union.
+        EntryVec B = randomEntries(R, R.next(300), kUniverse);
+        MapT MB(B, Plus);
+        Oracle OB = toOracle(B);
+        MapT Next = MapT::map_union(M, MB, Plus);
+        M = std::move(Next);
+        for (const auto &[K, V] : OB) {
+          auto [It, New] = O.emplace(K, V);
+          if (!New)
+            It->second += V;
+        }
+        break;
+      }
+      case 3: { // Difference.
+        EntryVec B = randomEntries(R, R.next(300), kUniverse);
+        MapT MB(B, Plus);
+        MapT Next = MapT::map_difference(M, MB);
+        M = std::move(Next);
+        for (const auto &KV : toOracle(B))
+          O.erase(KV.first);
+        break;
+      }
+      case 4: { // multi_insert.
+        EntryVec B = randomEntries(R, R.next(400), kUniverse);
+        MapT Next = M.multi_insert(B, Plus);
+        M = std::move(Next);
+        for (const auto &[K, V] : toOracle(B)) {
+          auto [It, New] = O.emplace(K, V);
+          if (!New)
+            It->second += V;
+        }
+        break;
+      }
+      default: { // filter.
+        uint64_t Mod = 2 + R.next(5);
+        MapT Next = M.filter(
+            [Mod](const auto &E) { return (E.first + E.second) % Mod != 0; });
+        M = std::move(Next);
+        Oracle Kept;
+        for (const auto &[K, V] : O)
+          if ((K + V) % Mod != 0)
+            Kept.emplace(K, V);
+        O = std::move(Kept);
+        break;
+      }
+      }
+      ++Survived;
+      checkAgainstOracle(M, O, "chaos survivor");
+    } catch (const std::bad_alloc &) {
+      // The batch temporaries (MB/Next) unwound; the operand must be
+      // byte-for-byte what it was before the failed op.
+      ++Died;
+      checkAgainstOracle(M, O, "operand after injected failure");
+    }
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  EXPECT_GT(Survived, 0u) << "injection rate so high nothing completed";
+  EXPECT_GT(fail::fires("alloc.node"), 0u)
+      << "chaos episode never actually injected a failure";
+  EXPECT_GT(Died, 0u) << "no op observed an injected allocation failure";
+}
+
+TYPED_TEST(DifferentialMapTest, AllocChaosLeavesOperandsIntact) {
+  test::FlagGuard G(TypeParam::ops::flat_fastpath());
+  for (bool Fast : {false, true}) {
+    TypeParam::ops::flat_fastpath() = Fast;
+    runMapChaosEpisode<TypeParam>(test::seeded_rng(Fast ? 55 : 66),
+                                  Fast ? 17 : 29);
+    if (this->HasFatalFailure())
+      break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Set differential (compressed encodings included).
 //===----------------------------------------------------------------------===//
 
@@ -322,6 +433,94 @@ TYPED_TEST(DifferentialSetTest, RandomOpsMatchStdSetBothFastPathSettings) {
   for (bool Fast : {false, true}) {
     TypeParam::ops::flat_fastpath() = Fast;
     runSetEpisode<TypeParam>(test::seeded_rng(Fast));
+    if (this->HasFatalFailure())
+      break;
+  }
+}
+
+/// Set-typed allocation chaos: same contract as the map episode, typed
+/// over every block size and encoder (the gamma cursor path included).
+template <class SetT> void runSetChaosEpisode(Rng R, uint64_t Salt) {
+  fail::scoped_arm Arm("alloc.node",
+                       "p=200/seed=" + std::to_string(Salt));
+  SetT S;
+  std::set<uint64_t> O;
+  auto RandomKeys = [&](size_t N) {
+    std::vector<uint64_t> Keys(N);
+    for (auto &K : Keys)
+      K = R.next(kUniverse);
+    return Keys;
+  };
+  uint64_t Survived = 0, Died = 0;
+  for (int Step = 0; Step < kSteps; ++Step) {
+    try {
+      switch (R.next(6)) {
+      case 0: {
+        uint64_t K = R.next(kUniverse);
+        SetT Next = S.insert(K);
+        S = std::move(Next);
+        O.insert(K);
+        break;
+      }
+      case 1: {
+        uint64_t K = R.next(kUniverse);
+        SetT Next = S.remove(K);
+        S = std::move(Next);
+        O.erase(K);
+        break;
+      }
+      case 2: {
+        auto Keys = RandomKeys(R.next(300));
+        SetT Next = SetT::map_union(S, SetT(Keys));
+        S = std::move(Next);
+        O.insert(Keys.begin(), Keys.end());
+        break;
+      }
+      case 3: {
+        auto Keys = RandomKeys(R.next(300));
+        SetT Next = SetT::map_difference(S, SetT(Keys));
+        S = std::move(Next);
+        for (uint64_t K : Keys)
+          O.erase(K);
+        break;
+      }
+      case 4: {
+        auto Keys = RandomKeys(R.next(400));
+        SetT Next = S.multi_insert(Keys);
+        S = std::move(Next);
+        O.insert(Keys.begin(), Keys.end());
+        break;
+      }
+      default: {
+        auto Keys = RandomKeys(R.next(400));
+        SetT Next = S.multi_delete(Keys);
+        S = std::move(Next);
+        for (uint64_t K : Keys)
+          O.erase(K);
+        break;
+      }
+      }
+      ++Survived;
+      checkSetAgainstOracle(S, O, "chaos survivor");
+    } catch (const std::bad_alloc &) {
+      ++Died;
+      checkSetAgainstOracle(S, O, "operand after injected failure");
+    }
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  EXPECT_GT(Survived, 0u) << "injection rate so high nothing completed";
+  EXPECT_GT(fail::fires("alloc.node"), 0u)
+      << "chaos episode never actually injected a failure";
+  EXPECT_GT(Died, 0u) << "no op observed an injected allocation failure";
+}
+
+TYPED_TEST(DifferentialSetTest, AllocChaosLeavesOperandsIntact) {
+  test::FlagGuard G(TypeParam::ops::flat_fastpath());
+  for (bool Fast : {false, true}) {
+    TypeParam::ops::flat_fastpath() = Fast;
+    runSetChaosEpisode<TypeParam>(test::seeded_rng(Fast ? 77 : 88),
+                                  Fast ? 41 : 53);
     if (this->HasFatalFailure())
       break;
   }

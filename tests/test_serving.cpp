@@ -19,6 +19,9 @@
 //===----------------------------------------------------------------------===//
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -35,6 +38,7 @@ namespace {
 
 using serving::epoch_manager;
 using serving::ingest_pipeline;
+using serving::overload_policy;
 using serving::version_chain;
 using serving::versioned_graph;
 
@@ -86,6 +90,42 @@ TEST(EpochManager, GuardIsRaii) {
     EXPECT_TRUE(E.any_pinned());
   }
   EXPECT_FALSE(E.any_pinned());
+}
+
+/// Slot exhaustion contract: with all kMaxReaders slots pinned, pin()
+/// does not fail or corrupt anything — it counts a SlotExhausted sweep,
+/// yields, and completes as soon as any slot frees.
+TEST(EpochManager, SlotExhaustionBlocksThenRecovers) {
+  epoch_manager E;
+  std::vector<size_t> Slots;
+  Slots.reserve(epoch_manager::kMaxReaders);
+  for (size_t I = 0; I < epoch_manager::kMaxReaders; ++I)
+    Slots.push_back(E.pin());
+  EXPECT_EQ(E.stats().SlotExhausted, 0u)
+      << "exactly kMaxReaders pins must fit without a failed sweep";
+
+  std::atomic<bool> Claimed{false};
+  size_t LateSlot = 0;
+  std::thread Late([&] {
+    LateSlot = E.pin(); // Spins in yield-retry until a slot frees.
+    Claimed.store(true, std::memory_order_release);
+  });
+  // The 513th pin cannot succeed while the table is full; wait until it
+  // has demonstrably swept the whole table at least once.
+  while (E.stats().SlotExhausted == 0)
+    std::this_thread::yield();
+  EXPECT_FALSE(Claimed.load(std::memory_order_acquire))
+      << "pin claimed a slot while all were busy";
+
+  E.unpin(Slots.back());
+  Slots.pop_back();
+  Late.join();
+  EXPECT_TRUE(Claimed.load());
+  E.unpin(LateSlot);
+  for (size_t S : Slots)
+    E.unpin(S);
+  EXPECT_FALSE(E.any_pinned());
+  EXPECT_GE(E.stats().SlotExhausted, 1u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -302,6 +342,247 @@ TEST_F(ServingLeakTest, IngestPipelineFlushSeesPriorSubmits) {
       EXPECT_EQ(Chain.acquire().size(), (Round + 1) * 100)
           << "flush returned before all prior submits were published";
     }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Ingest pipeline: overload policies, deadlines, shutdown.
+//===----------------------------------------------------------------------===//
+
+/// Gates the pipeline's apply function: every batch blocks inside Apply
+/// until open(), which lets a test hold the writer mid-batch and fill the
+/// queue deterministically behind it.
+struct apply_gate {
+  std::mutex M;
+  std::condition_variable Cv;
+  bool Open = false;
+  std::atomic<int> Entered{0};
+
+  void block() {
+    Entered.fetch_add(1, std::memory_order_release);
+    std::unique_lock<std::mutex> L(M);
+    Cv.wait(L, [&] { return Open; });
+  }
+  void open() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Open = true;
+    }
+    Cv.notify_all();
+  }
+  void wait_entered(int N) {
+    while (Entered.load(std::memory_order_acquire) < N)
+      std::this_thread::yield();
+  }
+};
+
+using u64_pipeline = ingest_pipeline<u64_set, uint64_t>;
+
+/// Builds a gated pipeline: BatchWindow 1 so the writer takes exactly one
+/// item per batch, and every apply blocks on \p Gate until opened.
+u64_pipeline::options gatedOptions(size_t Capacity, overload_policy Policy) {
+  u64_pipeline::options O;
+  O.QueueCapacity = Capacity;
+  O.BatchWindow = 1;
+  O.Policy = Policy;
+  return O;
+}
+
+u64_pipeline::apply_fn gatedApply(apply_gate &Gate) {
+  return [&Gate](const u64_set &Cur, std::vector<uint64_t> Batch) {
+    Gate.block();
+    return u64_set::map_union(Cur, u64_set(Batch));
+  };
+}
+
+/// Regression: a submitter blocked on a full queue (Block policy) must
+/// wake and return false when stop() races in — not hang, and not sneak
+/// its update into a stopping pipeline.
+TEST_F(ServingLeakTest, StopWakesBlockedSubmitters) {
+  constexpr size_t kBlocked = 3;
+  {
+    version_chain<u64_set> Chain(u64_set{});
+    apply_gate Gate;
+    u64_pipeline Pipe(Chain, gatedApply(Gate),
+                      gatedOptions(2, overload_policy::Block));
+    // Writer takes item 0 and parks inside Apply; then fill the queue.
+    ASSERT_TRUE(Pipe.submit(0));
+    Gate.wait_entered(1);
+    ASSERT_TRUE(Pipe.submit(1));
+    ASSERT_TRUE(Pipe.submit(2));
+
+    // These block on NotFull: no space can free while the writer is parked.
+    bool Res[kBlocked] = {true, true, true};
+    std::vector<std::thread> Submitters;
+    for (size_t I = 0; I < kBlocked; ++I)
+      Submitters.emplace_back([&, I] { Res[I] = Pipe.submit(10 + I); });
+    while (Pipe.stats().FullWaits < kBlocked)
+      std::this_thread::yield();
+
+    // stop() must wake all three even though the writer is still parked
+    // inside Apply (stop itself blocks joining the writer, so run it on a
+    // separate thread and release the gate afterwards).
+    std::thread Stopper([&] { Pipe.stop(); });
+    for (auto &T : Submitters)
+      T.join();
+    for (size_t I = 0; I < kBlocked; ++I)
+      EXPECT_FALSE(Res[I]) << "blocked submitter " << I
+                           << " was not refused on shutdown";
+    Gate.open();
+    Stopper.join();
+
+    // The queued items drain on shutdown; the refused ones never land.
+    u64_set Final = Chain.acquire();
+    EXPECT_EQ(Final.size(), 3u);
+    EXPECT_FALSE(Final.contains(10));
+    EXPECT_EQ(Pipe.stats().Submitted, 3u);
+    Chain.reclaim();
+  }
+}
+
+/// RejectNewest: exactly the submits that found a full queue are refused
+/// and counted; everything accepted is eventually applied.
+TEST_F(ServingLeakTest, RejectNewestCountsExactly) {
+  {
+    version_chain<u64_set> Chain(u64_set{});
+    apply_gate Gate;
+    u64_pipeline Pipe(Chain, gatedApply(Gate),
+                      gatedOptions(4, overload_policy::RejectNewest));
+    ASSERT_TRUE(Pipe.submit(0));
+    Gate.wait_entered(1);
+    for (uint64_t I = 1; I <= 4; ++I)
+      ASSERT_TRUE(Pipe.submit(I));
+    for (uint64_t I = 5; I <= 7; ++I)
+      EXPECT_FALSE(Pipe.submit(I)) << "queue was full; " << I
+                                   << " must be rejected";
+    auto St = Pipe.stats();
+    EXPECT_EQ(St.Submitted, 5u);
+    EXPECT_EQ(St.Rejected, 3u);
+    EXPECT_EQ(St.Shed, 0u);
+
+    Gate.open();
+    Pipe.flush();
+    u64_set Final = Chain.acquire();
+    EXPECT_EQ(Final.size(), 5u);
+    for (uint64_t I = 0; I <= 4; ++I)
+      EXPECT_TRUE(Final.contains(I));
+    for (uint64_t I = 5; I <= 7; ++I)
+      EXPECT_FALSE(Final.contains(I));
+    Pipe.stop();
+    Chain.reclaim();
+  }
+}
+
+/// ShedOldest: the oldest queued updates are the victims, the new ones
+/// land, and Shed counts exactly the dropped items.
+TEST_F(ServingLeakTest, ShedOldestDropsOldestExactly) {
+  {
+    version_chain<u64_set> Chain(u64_set{});
+    apply_gate Gate;
+    u64_pipeline Pipe(Chain, gatedApply(Gate),
+                      gatedOptions(4, overload_policy::ShedOldest));
+    ASSERT_TRUE(Pipe.submit(0));
+    Gate.wait_entered(1);
+    for (uint64_t I = 1; I <= 4; ++I)
+      ASSERT_TRUE(Pipe.submit(I)); // Queue now holds {1,2,3,4}.
+    ASSERT_TRUE(Pipe.submit(5));   // Sheds 1.
+    ASSERT_TRUE(Pipe.submit(6));   // Sheds 2.
+    auto St = Pipe.stats();
+    EXPECT_EQ(St.Submitted, 7u);
+    EXPECT_EQ(St.Shed, 2u);
+    EXPECT_EQ(St.Rejected, 0u);
+
+    Gate.open();
+    Pipe.flush();
+    u64_set Final = Chain.acquire();
+    EXPECT_EQ(Final.size(), 5u);
+    for (uint64_t I : {0u, 3u, 4u, 5u, 6u})
+      EXPECT_TRUE(Final.contains(I)) << I;
+    EXPECT_FALSE(Final.contains(1)) << "oldest victim survived";
+    EXPECT_FALSE(Final.contains(2)) << "second victim survived";
+    EXPECT_EQ(Pipe.stats().Applied, 5u)
+        << "shed items must not be applied";
+    Pipe.stop();
+    Chain.reclaim();
+  }
+}
+
+/// submit_for: the deadline expires against a wedged writer (counted in
+/// DeadlineTimeouts), then succeeds once space frees.
+TEST_F(ServingLeakTest, SubmitForDeadlineExpiresThenSucceeds) {
+  {
+    version_chain<u64_set> Chain(u64_set{});
+    apply_gate Gate;
+    u64_pipeline Pipe(Chain, gatedApply(Gate),
+                      gatedOptions(2, overload_policy::Block));
+    ASSERT_TRUE(Pipe.submit(0));
+    Gate.wait_entered(1);
+    ASSERT_TRUE(Pipe.submit(1));
+    ASSERT_TRUE(Pipe.submit(2));
+
+    EXPECT_FALSE(Pipe.submit_for(3, std::chrono::milliseconds(30)))
+        << "deadline must expire while the writer is wedged";
+    auto St = Pipe.stats();
+    EXPECT_EQ(St.DeadlineTimeouts, 1u);
+    EXPECT_EQ(St.Submitted, 3u);
+
+    Gate.open();
+    EXPECT_TRUE(Pipe.submit_for(4, std::chrono::seconds(30)));
+    Pipe.flush();
+    u64_set Final = Chain.acquire();
+    EXPECT_EQ(Final.size(), 4u);
+    EXPECT_FALSE(Final.contains(3)) << "timed-out update leaked in";
+    EXPECT_TRUE(Final.contains(4));
+    Pipe.stop();
+    Chain.reclaim();
+  }
+}
+
+/// flush_for reports in-flight work honestly: false while a batch is
+/// wedged inside Apply, true once the queue drains.
+TEST_F(ServingLeakTest, FlushForTimesOutWhileApplyWedged) {
+  {
+    version_chain<u64_set> Chain(u64_set{});
+    apply_gate Gate;
+    u64_pipeline Pipe(Chain, gatedApply(Gate),
+                      gatedOptions(8, overload_policy::Block));
+    ASSERT_TRUE(Pipe.submit(0));
+    Gate.wait_entered(1);
+    EXPECT_FALSE(Pipe.flush_for(std::chrono::milliseconds(30)));
+    Gate.open();
+    EXPECT_TRUE(Pipe.flush_for(std::chrono::seconds(30)));
+    EXPECT_EQ(Chain.acquire().size(), 1u);
+    Pipe.stop();
+    Chain.reclaim();
+  }
+}
+
+/// Stall watchdog + retire backlog: a reader pinned past the age
+/// threshold shows up in stalled_readers() and dams up the retired list
+/// (visible through retired_high_water()); unpinning clears both.
+TEST_F(ServingLeakTest, StalledReaderWatchdogAndRetiredBacklog) {
+  {
+    version_chain<u64_set> Chain(u64_set::from_sorted(iota(8)));
+    epoch_manager &E = Chain.epochs();
+    EXPECT_EQ(E.stalled_readers(0), 0u) << "no pins, no stalls";
+
+    size_t Slot = E.pin();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(E.stalled_readers(1'000'000), 1u)
+        << "a 5ms-old pin must trip a 1ms threshold";
+    EXPECT_EQ(E.stalled_readers(uint64_t(60) * 1'000'000'000), 0u)
+        << "a 5ms-old pin must not trip a 60s threshold";
+
+    for (uint64_t K = 9; K <= 16; ++K)
+      Chain.publish(u64_set::from_sorted(iota(K)));
+    EXPECT_EQ(Chain.retired_count(), 8u) << "stalled reader dams reclamation";
+    EXPECT_GE(Chain.retired_high_water(), 8u);
+
+    E.unpin(Slot);
+    EXPECT_EQ(E.stalled_readers(1'000'000), 0u);
+    Chain.reclaim();
+    EXPECT_EQ(Chain.retired_count(), 0u);
+    EXPECT_GE(Chain.retired_high_water(), 8u) << "high-water is sticky";
   }
 }
 
